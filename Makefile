@@ -1,0 +1,40 @@
+# Convenience targets for the IDS evaluation reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench eval sweep traces clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure of the paper.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The paper's full prototype evaluation (all four products, both postures).
+eval:
+	$(GO) run ./cmd/idseval -posture realtime
+	$(GO) run ./cmd/idseval -posture distributed
+
+# Figure-4 sweeps for the two interesting products.
+sweep:
+	$(GO) run ./cmd/eersweep -product TrueSecure -points 6
+	$(GO) run ./cmd/eersweep -product NetRecorder -points 6
+
+# Canned-trace workflow (Lesson 2).
+traces:
+	$(GO) run ./cmd/trafficgen -o /tmp/eval.idtr -seconds 60 -pps 600
+	$(GO) run ./cmd/replay -trace /tmp/eval.idtr -product TrueSecure
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,68 @@
+// Command eersweep reproduces Figure 4: it sweeps a product's detection
+// sensitivity, measures the Type I (false positive) and Type II (false
+// negative) error rates at each setting, locates the Equal Error Rate
+// crossover, and prints the curves as a table, an ASCII plot, and
+// optionally CSV.
+//
+// Usage:
+//
+//	eersweep [-product NetRecorder] [-points 6] [-seed 7] [-csv out.csv]
+//	         [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/products"
+	"repro/internal/report"
+)
+
+func main() {
+	productName := flag.String("product", "NetRecorder", "product under test")
+	points := flag.Int("points", 6, "sensitivity settings to sample")
+	seed := flag.Int64("seed", 7, "testbed seed")
+	csvFile := flag.String("csv", "", "also write the series as CSV")
+	quick := flag.Bool("quick", false, "shrink run durations")
+	flag.Parse()
+
+	spec, ok := products.Find(*productName)
+	if !ok {
+		fatal(fmt.Errorf("unknown product %q", *productName))
+	}
+
+	opts := eval.SweepOptions{Seed: *seed, Points: *points}
+	if *quick {
+		opts.TrainFor = 6 * time.Second
+		opts.RunFor = 14 * time.Second
+		opts.Pps = 200
+		opts.Strength = 0.5
+	}
+	fmt.Printf("sweeping %s %s across %d sensitivity settings...\n\n", spec.Name, spec.Version, *points)
+	sw, err := eval.SensitivitySweep(spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := report.ErrorCurves(os.Stdout, sw); err != nil {
+		fatal(err)
+	}
+	if *csvFile != "" {
+		f, err := os.Create(*csvFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.SweepCSV(f, sw); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvFile)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eersweep:", err)
+	os.Exit(1)
+}

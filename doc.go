@@ -1,0 +1,14 @@
+// Package repro reproduces "A Metrics-Based Approach to Intrusion
+// Detection System Evaluation for Distributed Real-Time Systems" (Fink,
+// Chappell, Turner, O'Donoghue — WPDRTS/IPDPS 2002) as a working system:
+// the metric scorecard methodology in internal/core and
+// internal/requirements, the evaluation testbed (deterministic network
+// simulator, protocol-aware traffic generation, labeled attack library,
+// trace record/replay) in the remaining internal packages, four simulated
+// IDS products in internal/products, and the measurement harness in
+// internal/eval.
+//
+// The root-level bench_test.go regenerates every table and figure of the
+// paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured notes.
+package repro

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// scorecardJSON is the interchange form of a scorecard.
+type scorecardJSON struct {
+	System       string            `json:"system"`
+	Version      string            `json:"version,omitempty"`
+	Observations []observationJSON `json:"observations"`
+}
+
+type observationJSON struct {
+	Metric string `json:"metric"`
+	Score  int    `json:"score"`
+	How    string `json:"how,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+func methodFromString(s string) (Method, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "analysis":
+		return ByAnalysis, nil
+	case "open-source":
+		return ByOpenSource, nil
+	case "analysis|open-source":
+		return ByAnalysis | ByOpenSource, nil
+	default:
+		return 0, fmt.Errorf("core: unknown method %q", s)
+	}
+}
+
+// WriteJSON serializes the scorecard with observations in registry order.
+func (c *Scorecard) WriteJSON(w io.Writer) error {
+	out := scorecardJSON{System: c.System, Version: c.Version}
+	for _, m := range c.reg.All() {
+		if o, ok := c.obs[m.ID]; ok {
+			oj := observationJSON{Metric: o.MetricID, Score: int(o.Score), Note: o.Note}
+			if o.How != 0 {
+				oj.How = o.How.String()
+			}
+			out.Observations = append(out.Observations, oj)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadScorecardJSON parses a scorecard against the given registry,
+// validating every observation.
+func ReadScorecardJSON(r io.Reader, reg *Registry) (*Scorecard, error) {
+	var in scorecardJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: parsing scorecard: %w", err)
+	}
+	if in.System == "" {
+		return nil, fmt.Errorf("core: scorecard has no system name")
+	}
+	c := NewScorecard(reg, in.System, in.Version)
+	for _, oj := range in.Observations {
+		how, err := methodFromString(oj.How)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Set(Observation{MetricID: oj.Metric, Score: Score(oj.Score), How: how, Note: oj.Note}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WriteWeightsJSON serializes weights sorted by metric ID.
+func WriteWeightsJSON(w io.Writer, weights Weights) error {
+	ids := make([]string, 0, len(weights))
+	for id := range weights {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	type entry struct {
+		Metric string  `json:"metric"`
+		Weight float64 `json:"weight"`
+	}
+	out := make([]entry, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, entry{Metric: id, Weight: weights[id]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadWeightsJSON parses and validates weights against the registry.
+func ReadWeightsJSON(r io.Reader, reg *Registry) (Weights, error) {
+	var in []struct {
+		Metric string  `json:"metric"`
+		Weight float64 `json:"weight"`
+	}
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: parsing weights: %w", err)
+	}
+	w := make(Weights, len(in))
+	for _, e := range in {
+		w[e.Metric] = e.Weight
+	}
+	if err := w.Validate(reg); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// StabilityResult reports how robust a ranking is to weight perturbation.
+// Section 3.3 concedes that "mapping these requirements to numeric
+// weights will always be somewhat subjective"; this analysis quantifies
+// how much that subjectivity can matter: each trial multiplies every
+// weight by an independent factor drawn uniformly from
+// [1−spread, 1+spread] and re-ranks.
+type StabilityResult struct {
+	// Trials is the number of perturbed rankings computed.
+	Trials int
+	// Spread is the relative perturbation applied.
+	Spread float64
+	// WinShare maps system -> fraction of trials it ranked first.
+	WinShare map[string]float64
+	// MeanRank maps system -> average rank (1 = best).
+	MeanRank map[string]float64
+	// Flips counts trials whose winner differed from the unperturbed
+	// winner.
+	Flips int
+	// BaseWinner is the unperturbed first place.
+	BaseWinner string
+}
+
+// Stable reports whether the base winner held first place in at least
+// the given fraction of trials.
+func (r *StabilityResult) Stable(threshold float64) bool {
+	return r.WinShare[r.BaseWinner] >= threshold
+}
+
+// RankStability evaluates ranking robustness under random weight
+// perturbation. The rng makes the analysis reproducible; spread is the
+// relative weight jitter (0.2 = ±20%).
+func RankStability(cards []*Scorecard, w Weights, spread float64, trials int, rng *rand.Rand) (*StabilityResult, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("core: no scorecards")
+	}
+	if spread < 0 || spread >= 1 {
+		return nil, fmt.Errorf("core: spread %v outside [0,1)", spread)
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	base, err := Rank(cards, w)
+	if err != nil {
+		return nil, err
+	}
+	res := &StabilityResult{
+		Trials:     trials,
+		Spread:     spread,
+		WinShare:   make(map[string]float64),
+		MeanRank:   make(map[string]float64),
+		BaseWinner: base[0].System,
+	}
+	rankSum := make(map[string]float64)
+	wins := make(map[string]int)
+
+	ids := make([]string, 0, len(w))
+	for id := range w {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic perturbation order
+
+	for t := 0; t < trials; t++ {
+		perturbed := make(Weights, len(w))
+		for _, id := range ids {
+			factor := 1 + spread*(2*rng.Float64()-1)
+			perturbed[id] = w[id] * factor
+		}
+		ranked, err := Rank(cards, perturbed)
+		if err != nil {
+			return nil, err
+		}
+		wins[ranked[0].System]++
+		if ranked[0].System != res.BaseWinner {
+			res.Flips++
+		}
+		for pos, s := range ranked {
+			rankSum[s.System] += float64(pos + 1)
+		}
+	}
+	for _, c := range cards {
+		res.WinShare[c.System] = float64(wins[c.System]) / float64(trials)
+		res.MeanRank[c.System] = rankSum[c.System] / float64(trials)
+	}
+	return res, nil
+}

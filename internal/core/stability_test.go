@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stabilityFixture builds cards with a dominant, a runner-up, and a
+// distant third.
+func stabilityFixture(t *testing.T, gap Score) (*Registry, []*Scorecard, Weights) {
+	t.Helper()
+	reg, err := NewRegistry([]Metric{
+		{ID: "p1", Name: "P1", Class: Performance, Description: "d", Methods: ByAnalysis},
+		{ID: "p2", Name: "P2", Class: Performance, Description: "d", Methods: ByAnalysis},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, s1, s2 Score) *Scorecard {
+		c := NewScorecard(reg, name, "")
+		if err := c.Set(Observation{MetricID: "p1", Score: s1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Set(Observation{MetricID: "p2", Score: s2}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cards := []*Scorecard{
+		mk("leader", 4, gap),
+		mk("runner", 3, 3),
+		mk("third", 1, 1),
+	}
+	return reg, cards, Weights{"p1": 2, "p2": 1}
+}
+
+func TestRankStabilityDominantWinnerIsStable(t *testing.T) {
+	_, cards, w := stabilityFixture(t, 4) // leader: 12, runner: 9, third: 3
+	res, err := RankStability(cards, w, 0.2, 500, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseWinner != "leader" {
+		t.Fatalf("base winner = %s", res.BaseWinner)
+	}
+	if !res.Stable(0.95) {
+		t.Fatalf("dominant winner unstable: share %.2f", res.WinShare["leader"])
+	}
+	if res.MeanRank["leader"] >= res.MeanRank["runner"] ||
+		res.MeanRank["runner"] >= res.MeanRank["third"] {
+		t.Fatalf("mean ranks out of order: %v", res.MeanRank)
+	}
+}
+
+func TestRankStabilityNarrowMarginFlips(t *testing.T) {
+	// leader 4,1 -> 2*4+1=9; runner 3,3 -> 9: exact tie at base, so any
+	// perturbation decides — flips must be frequent.
+	_, cards, w := stabilityFixture(t, 1)
+	res, err := RankStability(cards, w, 0.25, 500, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips == 0 {
+		t.Fatal("tied ranking never flipped under perturbation")
+	}
+	// Win shares sum to ~1 over the field.
+	var sum float64
+	for _, s := range res.WinShare {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("win shares sum to %v", sum)
+	}
+	// "third" can never win.
+	if res.WinShare["third"] != 0 {
+		t.Fatalf("distant third won %.2f of trials", res.WinShare["third"])
+	}
+}
+
+func TestRankStabilityValidation(t *testing.T) {
+	_, cards, w := stabilityFixture(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RankStability(nil, w, 0.1, 10, rng); err == nil {
+		t.Fatal("empty cards accepted")
+	}
+	if _, err := RankStability(cards, w, -0.1, 10, rng); err == nil {
+		t.Fatal("negative spread accepted")
+	}
+	if _, err := RankStability(cards, w, 1.0, 10, rng); err == nil {
+		t.Fatal("spread 1.0 accepted")
+	}
+	if _, err := RankStability(cards, w, 0.1, 0, rng); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := RankStability(cards, w, 0.1, 10, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestRankStabilityDeterministicWithSeed(t *testing.T) {
+	_, cards, w := stabilityFixture(t, 1)
+	run := func() *StabilityResult {
+		res, err := RankStability(cards, w, 0.3, 200, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Flips != b.Flips || a.WinShare["leader"] != b.WinShare["leader"] {
+		t.Fatal("stability analysis nondeterministic under fixed seed")
+	}
+}
+
+func TestRankStabilityZeroSpreadNeverFlips(t *testing.T) {
+	_, cards, w := stabilityFixture(t, 4)
+	res, err := RankStability(cards, w, 0, 50, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 || res.WinShare["leader"] != 1 {
+		t.Fatalf("zero spread produced flips: %+v", res)
+	}
+}

@@ -1,0 +1,169 @@
+// Package detect implements the detection engines the simulated IDS
+// products are built from: a signature (misuse) engine backed by an
+// Aho–Corasick multi-pattern matcher plus header and threshold rules, an
+// anomaly (behaviour) engine backed by online statistical profiles, and a
+// hybrid composition — the three detection-mechanism classes of Section
+// 2.1 of the paper. Every engine exposes an adjustable sensitivity, the
+// knob behind the paper's Figure 4 error-rate curves and the "Adjustable
+// Sensitivity" architectural metric.
+package detect
+
+import "sort"
+
+// Matcher is an Aho–Corasick automaton over byte patterns. Construction
+// is O(total pattern bytes); scanning is O(input + matches) regardless of
+// pattern count — the property that lets a signature sensor carry a large
+// corpus at line rate.
+type Matcher struct {
+	// next[state][b] is the goto/fail-resolved transition table.
+	next [][256]int32
+	// outputs[state] lists pattern indices ending at state.
+	outputs [][]int32
+	// patterns retains the compiled patterns for length lookup.
+	patterns [][]byte
+}
+
+// NewMatcher compiles the pattern set. Empty patterns are ignored.
+func NewMatcher(patterns [][]byte) *Matcher {
+	m := &Matcher{}
+	m.next = append(m.next, [256]int32{})
+	m.outputs = append(m.outputs, nil)
+
+	// Phase 1: trie construction with explicit goto edges; absent edges
+	// are resolved into fail transitions in phase 2.
+	edges := []map[byte]int32{{}}
+	for _, pat := range patterns {
+		if len(pat) == 0 {
+			continue
+		}
+		idx := int32(len(m.patterns))
+		m.patterns = append(m.patterns, pat)
+		state := int32(0)
+		for _, b := range pat {
+			nxt, ok := edges[state][b]
+			if !ok {
+				nxt = int32(len(m.next))
+				m.next = append(m.next, [256]int32{})
+				m.outputs = append(m.outputs, nil)
+				edges = append(edges, map[byte]int32{})
+				edges[state][b] = nxt
+			}
+			state = nxt
+		}
+		m.outputs[state] = append(m.outputs[state], idx)
+	}
+
+	// Phase 2: BFS fail links, flattening into a dense transition table.
+	fail := make([]int32, len(m.next))
+	queue := make([]int32, 0, len(m.next))
+	for b := 0; b < 256; b++ {
+		if s, ok := edges[0][byte(b)]; ok {
+			m.next[0][b] = s
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		f := fail[s]
+		m.outputs[s] = append(m.outputs[s], m.outputs[f]...)
+		for b := 0; b < 256; b++ {
+			if t, ok := edges[s][byte(b)]; ok {
+				fail[t] = m.next[f][b]
+				m.next[s][b] = t
+				queue = append(queue, t)
+			} else {
+				m.next[s][b] = m.next[f][b]
+			}
+		}
+	}
+	return m
+}
+
+// Match is one pattern occurrence in the scanned input.
+type Match struct {
+	// Pattern is the index into the compiled pattern set.
+	Pattern int
+	// End is the offset one past the match's final byte.
+	End int
+}
+
+// Scan returns every pattern occurrence in data, in end-offset order.
+func (m *Matcher) Scan(data []byte) []Match {
+	var out []Match
+	state := int32(0)
+	for i, b := range data {
+		state = m.next[state][b]
+		for _, p := range m.outputs[state] {
+			out = append(out, Match{Pattern: int(p), End: i + 1})
+		}
+	}
+	return out
+}
+
+// Contains reports whether any pattern occurs in data, without
+// materializing matches — the hot path for a boolean sensor verdict.
+func (m *Matcher) Contains(data []byte) bool {
+	state := int32(0)
+	for _, b := range data {
+		state = m.next[state][b]
+		if len(m.outputs[state]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanSet returns the sorted distinct pattern indices occurring in data.
+func (m *Matcher) ScanSet(data []byte) []int {
+	seen := make(map[int]bool)
+	state := int32(0)
+	for _, b := range data {
+		state = m.next[state][b]
+		for _, p := range m.outputs[state] {
+			seen[int(p)] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumPatterns returns how many non-empty patterns were compiled.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// Pattern returns the compiled pattern at index i.
+func (m *Matcher) Pattern(i int) []byte { return m.patterns[i] }
+
+// NaiveScan is the baseline the Aho–Corasick ablation benchmark compares
+// against: scan each pattern independently with quadratic-ish substring
+// search.
+func NaiveScan(patterns [][]byte, data []byte) []Match {
+	var out []Match
+	for pi, pat := range patterns {
+		if len(pat) == 0 {
+			continue
+		}
+		for i := 0; i+len(pat) <= len(data); i++ {
+			matched := true
+			for j := range pat {
+				if data[i+j] != pat[j] {
+					matched = false
+					break
+				}
+			}
+			if matched {
+				out = append(out, Match{Pattern: pi, End: i + len(pat)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}

@@ -1,0 +1,279 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// welford is an online mean/variance accumulator.
+type welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// z returns the z-score of x, guarding degenerate variance with a floor
+// so constant-valued baselines still measure deviation meaningfully.
+func (w *welford) z(x float64, floor float64) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	s := w.std()
+	if s < floor {
+		s = floor
+	}
+	return math.Abs(x-w.mean) / s
+}
+
+// serviceProfile is the learned behaviour of one (dstPort, proto) service.
+type serviceProfile struct {
+	payloadLen welford
+	entropy    welford
+	packets    uint64
+}
+
+// AnomalyEngine is a behaviour detector: it learns a baseline of "normal"
+// traffic during training and scores deviations afterwards. Section 2.1
+// notes a "constrained application environment may help constrain the
+// definition of normal behavior making anomaly-based systems more
+// appropriate" for real-time clusters — the effect the harness's
+// cluster-profile runs demonstrate.
+type AnomalyEngine struct {
+	services map[uint32]*serviceProfile // key: port<<8|proto
+	pairs    map[uint64]bool            // (src,dst,dstPort) triples seen in training
+	// srcRate learns per-source peak packet rates during training.
+	srcRate      map[packet.Addr]*rateTracker
+	trainedPeak  float64 // highest per-source pps seen in training
+	trainPackets uint64
+
+	sensitivity float64
+	suppress    map[string]time.Duration
+	// SuppressWindow is the per-(cause,pair) alert holdoff.
+	SuppressWindow time.Duration
+	// MinServiceSamples gates z-score alerts until a service baseline has
+	// enough observations to be meaningful.
+	MinServiceSamples uint64
+
+	// Inspected counts packets analyzed after training.
+	Inspected uint64
+}
+
+// rateTracker counts packets in tumbling one-second windows.
+type rateTracker struct {
+	windowStart time.Duration
+	count       int
+	peak        int
+}
+
+func (r *rateTracker) observe(now time.Duration) int {
+	if now-r.windowStart > time.Second {
+		if r.count > r.peak {
+			r.peak = r.count
+		}
+		r.windowStart = now
+		r.count = 0
+	}
+	r.count++
+	return r.count
+}
+
+// NewAnomalyEngine creates an untrained engine at sensitivity 0.5.
+func NewAnomalyEngine() *AnomalyEngine {
+	return &AnomalyEngine{
+		services:          make(map[uint32]*serviceProfile),
+		pairs:             make(map[uint64]bool),
+		srcRate:           make(map[packet.Addr]*rateTracker),
+		sensitivity:       0.5,
+		suppress:          make(map[string]time.Duration),
+		SuppressWindow:    2 * time.Second,
+		MinServiceSamples: 30,
+	}
+}
+
+// Name implements Engine.
+func (e *AnomalyEngine) Name() string { return "anomaly" }
+
+// Mechanism implements Engine.
+func (e *AnomalyEngine) Mechanism() Mechanism { return MechanismAnomaly }
+
+// SetSensitivity implements Engine.
+func (e *AnomalyEngine) SetSensitivity(s float64) error {
+	v, err := clampSensitivity(s)
+	if err != nil {
+		return err
+	}
+	e.sensitivity = v
+	return nil
+}
+
+// Sensitivity implements Engine.
+func (e *AnomalyEngine) Sensitivity() float64 { return e.sensitivity }
+
+// CostPerPacket implements Engine: fixed feature extraction plus a cheap
+// per-byte entropy pass.
+func (e *AnomalyEngine) CostPerPacket(p *packet.Packet) time.Duration {
+	return 4*time.Microsecond + time.Duration(len(p.Payload))*2*time.Nanosecond
+}
+
+// servicePort identifies the service side of a conversation: the smaller
+// port number (well-known/registered services sit below the ephemeral
+// range). Keying profiles this way makes both directions of a session —
+// including server responses to ephemeral client ports — accrue to one
+// service baseline instead of each response looking like a novel service.
+func servicePort(p *packet.Packet) uint16 {
+	if p.SrcPort != 0 && p.SrcPort < p.DstPort {
+		return p.SrcPort
+	}
+	return p.DstPort
+}
+
+func serviceKey(p *packet.Packet) uint32 {
+	return uint32(servicePort(p))<<8 | uint32(p.Proto)
+}
+
+func pairKey(p *packet.Packet) uint64 {
+	k := p.Key().Canonical()
+	return uint64(k.Src)<<32 ^ uint64(k.Dst)<<8 ^ uint64(servicePort(p))
+}
+
+// TrainedPackets returns how many benign packets built the baseline.
+func (e *AnomalyEngine) TrainedPackets() uint64 { return e.trainPackets }
+
+// Train implements Engine: fold one known-benign packet into the
+// baseline.
+func (e *AnomalyEngine) Train(p *packet.Packet, now time.Duration) {
+	e.trainPackets++
+	sk := serviceKey(p)
+	sp, ok := e.services[sk]
+	if !ok {
+		sp = &serviceProfile{}
+		e.services[sk] = sp
+	}
+	sp.packets++
+	if len(p.Payload) > 0 {
+		sp.payloadLen.add(float64(len(p.Payload)))
+		if len(p.Payload) >= 64 {
+			// Mirror the inspection-side gate: entropy baselines are
+			// built only from payloads large enough to estimate it.
+			sp.entropy.add(Entropy(p.Payload))
+		}
+	}
+	e.pairs[pairKey(p)] = true
+	rt, ok := e.srcRate[p.Src]
+	if !ok {
+		rt = &rateTracker{windowStart: now}
+		e.srcRate[p.Src] = rt
+	}
+	rt.observe(now)
+	if float64(rt.count) > e.trainedPeak {
+		e.trainedPeak = float64(rt.count)
+	}
+}
+
+// zThreshold is the sensitivity-scaled z-score alarm level: 6σ at
+// sensitivity 0 down to 2σ at sensitivity 1.
+func (e *AnomalyEngine) zThreshold() float64 { return 6 - 4*e.sensitivity }
+
+// rateFactorThreshold is the multiple of the trained per-source peak rate
+// that triggers a rate alert: 8x at sensitivity 0 down to 1.5x at 1.
+func (e *AnomalyEngine) rateFactorThreshold() float64 { return 8 - 6.5*e.sensitivity }
+
+// noveltyEnabled gates pure never-seen-before alerts, which are only
+// tolerable in constrained environments; they switch on at sensitivity
+// 0.35 and above.
+func (e *AnomalyEngine) noveltyEnabled() bool { return e.sensitivity >= 0.35 }
+
+func (e *AnomalyEngine) suppressed(key string, now time.Duration) bool {
+	if last, ok := e.suppress[key]; ok && now-last < e.SuppressWindow {
+		return true
+	}
+	e.suppress[key] = now
+	return false
+}
+
+// Inspect implements Engine.
+func (e *AnomalyEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
+	e.Inspected++
+	var alerts []Alert
+	raise := func(cause, technique string, severity float64, reason string) {
+		key := fmt.Sprintf("%s/%d/%d", cause, p.Src, p.Dst)
+		if e.suppressed(key, now) {
+			return
+		}
+		alerts = append(alerts, Alert{
+			At: now, Technique: technique, Severity: severity,
+			Attacker: p.Src, Victim: p.Dst, Flow: p.Key(),
+			Reason: reason, Engine: e.Name(),
+		})
+	}
+
+	// Content deviation: payload length and entropy against the service
+	// baseline.
+	if len(p.Payload) > 0 {
+		if sp, ok := e.services[serviceKey(p)]; ok && sp.packets >= e.MinServiceSamples {
+			zl := sp.payloadLen.z(float64(len(p.Payload)), 8)
+			// Shannon entropy over a handful of bytes is statistically
+			// meaningless; tiny payloads (protocol tails, ACK piggybacks)
+			// are judged on length only.
+			ze := 0.0
+			if len(p.Payload) >= 64 {
+				ze = sp.entropy.z(Entropy(p.Payload), 0.25)
+			}
+			zt := e.zThreshold()
+			if zl > zt || ze > zt {
+				z := math.Max(zl, ze)
+				raise("content", "content-anomaly",
+					math.Min(1, z/(2*zt)+0.4),
+					fmt.Sprintf("payload deviates from service baseline (len z=%.1f, entropy z=%.1f)", zl, ze))
+			}
+		} else if e.noveltyEnabled() && !ok {
+			raise("newsvc", "novel-service", 0.5,
+				fmt.Sprintf("no baseline for service port %d/%v", servicePort(p), p.Proto))
+		}
+	}
+
+	// Pair novelty: a host pair+service never seen in training.
+	if e.noveltyEnabled() && !e.pairs[pairKey(p)] {
+		raise("pair", "novel-service", 0.45,
+			fmt.Sprintf("first contact %v -> %v service %d", p.Src, p.Dst, servicePort(p)))
+	}
+
+	// Rate anomaly: source exceeding a multiple of the trained peak.
+	rt, ok := e.srcRate[p.Src]
+	if !ok {
+		rt = &rateTracker{windowStart: now}
+		e.srcRate[p.Src] = rt
+	}
+	cur := float64(rt.observe(now))
+	base := e.trainedPeak
+	if base < 10 {
+		base = 10
+	}
+	if cur > base*e.rateFactorThreshold() {
+		raise("rate", "rate-anomaly",
+			math.Min(1, cur/(base*e.rateFactorThreshold())/2+0.4),
+			fmt.Sprintf("source rate %.0f pps exceeds %.1fx trained peak %.0f", cur, e.rateFactorThreshold(), e.trainedPeak))
+		// Reset the tumbling window so a sustained flood re-alerts once
+		// per suppression window, not per packet.
+		rt.windowStart = now
+		rt.count = 0
+	}
+	return alerts
+}

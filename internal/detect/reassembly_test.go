@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func segPkt(flowPort uint16, flags packet.TCPFlags, payload string) *packet.Packet {
+	return &packet.Packet{
+		Src: packet.IPv4(203, 0, 1, 1), Dst: packet.IPv4(10, 1, 1, 1),
+		SrcPort: flowPort, DstPort: 80, Proto: packet.ProtoTCP,
+		Flags: flags, Payload: []byte(payload),
+	}
+}
+
+func TestReassemblerJoinsAcrossSegments(t *testing.T) {
+	r := NewReassembler(10)
+	a := r.Extend(segPkt(1000, packet.ACK, "cgi-b"))
+	if string(a) != "cgi-b" {
+		t.Fatalf("first segment = %q", a)
+	}
+	b := r.Extend(segPkt(1000, packet.ACK, "in/phf?x"))
+	if string(b) != "cgi-bin/phf?x" {
+		t.Fatalf("joined = %q", b)
+	}
+}
+
+func TestReassemblerFlowIsolation(t *testing.T) {
+	r := NewReassembler(10)
+	r.Extend(segPkt(1000, packet.ACK, "cgi-b"))
+	other := r.Extend(segPkt(2000, packet.ACK, "in/phf"))
+	if string(other) != "in/phf" {
+		t.Fatalf("cross-flow contamination: %q", other)
+	}
+}
+
+func TestReassemblerTailBounded(t *testing.T) {
+	r := NewReassembler(4)
+	r.Extend(segPkt(1000, packet.ACK, "0123456789"))
+	joined := r.Extend(segPkt(1000, packet.ACK, "AB"))
+	if string(joined) != "6789AB" {
+		t.Fatalf("joined = %q, want tail-limited prefix", joined)
+	}
+}
+
+func TestReassemblerFINReleasesFlow(t *testing.T) {
+	r := NewReassembler(8)
+	r.Extend(segPkt(1000, packet.ACK, "abc"))
+	if r.FlowCount() != 1 {
+		t.Fatalf("FlowCount = %d", r.FlowCount())
+	}
+	r.Extend(segPkt(1000, packet.FIN|packet.ACK, "end"))
+	if r.FlowCount() != 0 {
+		t.Fatalf("FIN did not release flow: %d", r.FlowCount())
+	}
+}
+
+func TestReassemblerIgnoresNonTCPAndEmpty(t *testing.T) {
+	r := NewReassembler(8)
+	udp := &packet.Packet{Proto: packet.ProtoUDP, Payload: []byte("xy")}
+	if got := r.Extend(udp); string(got) != "xy" {
+		t.Fatal("UDP payload altered")
+	}
+	empty := segPkt(1000, packet.ACK, "")
+	if got := r.Extend(empty); len(got) != 0 {
+		t.Fatal("empty payload altered")
+	}
+	if r.FlowCount() != 0 {
+		t.Fatal("stateless packets created flows")
+	}
+}
+
+func TestReassemblerCapEviction(t *testing.T) {
+	r := NewReassembler(8)
+	r.MaxFlows = 4
+	for i := 0; i < 10; i++ {
+		r.Extend(segPkt(uint16(1000+i), packet.ACK, "abc"))
+	}
+	if r.FlowCount() > 5 {
+		t.Fatalf("FlowCount = %d exceeds cap behaviour", r.FlowCount())
+	}
+}
+
+// The headline behaviour: a per-packet scanner misses a signature split
+// across segments; the reassembling scanner catches it.
+func TestEvasionDefeatedByReassembly(t *testing.T) {
+	sig := "GET /cgi-bin/phf?Qalias=x HTTP/1.0\r\n\r\n"
+	frags := []string{}
+	for off := 0; off < len(sig); off += 7 {
+		end := off + 7
+		if end > len(sig) {
+			end = len(sig)
+		}
+		frags = append(frags, sig[off:end])
+	}
+
+	run := func(e *SignatureEngine) int {
+		alerts := 0
+		now := time.Duration(0)
+		for _, f := range frags {
+			alerts += len(e.Inspect(segPkt(1234, packet.ACK, f), now))
+			now += time.Millisecond
+		}
+		return alerts
+	}
+	perPacket := NewStandardSignatureEngine()
+	perPacket.SetSensitivity(0.5)
+	if got := run(perPacket); got != 0 {
+		t.Fatalf("per-packet scanner alerted %d times on fragmented signature", got)
+	}
+	reassembling := NewReassemblingSignatureEngine()
+	reassembling.SetSensitivity(0.5)
+	if got := run(reassembling); got == 0 {
+		t.Fatal("reassembling scanner missed the fragmented signature")
+	}
+}
+
+func TestReassemblyCostsMore(t *testing.T) {
+	plain := NewStandardSignatureEngine()
+	re := NewReassemblingSignatureEngine()
+	p := segPkt(1, packet.ACK, "hello")
+	if re.CostPerPacket(p) <= plain.CostPerPacket(p) {
+		t.Fatal("reassembly should cost more per packet")
+	}
+	if !re.Reassembling() || plain.Reassembling() {
+		t.Fatal("Reassembling() flags wrong")
+	}
+}
+
+func TestStealthySingleByteFragments(t *testing.T) {
+	// Even 1-byte segments cannot evade the reassembling scanner.
+	e := NewReassemblingSignatureEngine()
+	e.SetSensitivity(0.5)
+	sig := "cgi-bin/phf"
+	alerts := 0
+	for i := 0; i < len(sig); i++ {
+		alerts += len(e.Inspect(segPkt(99, packet.ACK, string(sig[i])), time.Duration(i)*time.Millisecond))
+	}
+	if alerts == 0 {
+		t.Fatal("single-byte fragmentation evaded reassembly")
+	}
+}

@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ids"
+)
+
+// AccuracyResult holds the Figure-3 accuracy observations for one run.
+type AccuracyResult struct {
+	Product     string
+	Sensitivity float64
+
+	// Transactions is |T|: background sessions plus attack incidents.
+	Transactions int
+	// ActualIncidents is |A|.
+	ActualIncidents int
+	// DetectedIncidents is how many actual incidents were matched by at
+	// least one reported incident.
+	DetectedIncidents int
+	// FalseAlarms is the number of reported incidents matching no actual
+	// incident.
+	FalseAlarms int
+	// ReportedIncidents is the total the monitor recorded.
+	ReportedIncidents int
+
+	// FalsePositiveRatio is |D−A|/|T| per Figure 3.
+	FalsePositiveRatio float64
+	// FalseNegativeRatio is |A−D|/|T| per Figure 3.
+	FalseNegativeRatio float64
+	// MissRate is |A−D|/|A| (the per-attack view used for scoring).
+	MissRate float64
+	// DetectionRate is 1−MissRate.
+	DetectionRate float64
+
+	// Timeliness.
+	MeanDetectionDelay time.Duration
+	MaxDetectionDelay  time.Duration
+
+	// ByTechnique maps technique -> detected? for the report.
+	ByTechnique map[string]bool
+
+	// Response effectiveness observed during the run.
+	FirewallBlocks  int
+	RouterRedirects int
+	SNMPTraps       int
+	FilteredPackets uint64
+
+	// Pipeline health.
+	SensorDrops    uint64
+	SensorFailures int
+	StorageBytes   uint64
+	IngestedBytes  uint64
+
+	// TruthIncidents retains the ground truth the run was scored
+	// against, for downstream experiments (human dimension, reports).
+	TruthIncidents []attack.Incident
+	// Profiles is the analyzer's second-order per-attacker intent
+	// analysis (Analysis of Intruder Intent capability).
+	Profiles []*ids.AttackerProfile
+
+	// Compromise bookkeeping for AnalyzeCompromise: cluster addresses
+	// ground truth marks compromised, and those the product's reports
+	// named.
+	compromisedTruth map[uint32]bool
+	compromisedFound map[uint32]bool
+}
+
+// matchWindow pads incident activity windows when matching reports.
+const matchWindow = 6 * time.Second
+
+// matches reports whether a reported incident plausibly refers to the
+// ground-truth incident: endpoint overlap plus temporal overlap.
+func matches(rep *ids.ReportedIncident, inc attack.Incident) bool {
+	// Both endpoints must match, in either orientation: detectors that
+	// alert on a response packet attribute the conversation reversed.
+	// Multi-victim incidents (zero Victim, e.g. a ping sweep) match on
+	// the attacker alone.
+	var endpointHit bool
+	if inc.Victim == 0 {
+		endpointHit = rep.Attacker == inc.Attacker || rep.Victim == inc.Attacker
+	} else {
+		endpointHit = (rep.Attacker == inc.Attacker && rep.Victim == inc.Victim) ||
+			(rep.Attacker == inc.Victim && rep.Victim == inc.Attacker)
+	}
+	if !endpointHit {
+		return false
+	}
+	start := inc.Start - time.Second
+	end := inc.Start + inc.Duration + matchWindow
+	return rep.FirstAlert <= end && rep.LastAlert >= start
+}
+
+// RunAccuracy performs one full accuracy experiment: train on clean
+// traffic, then run background plus the standard campaign for attackFor,
+// then match monitor incidents against ground truth.
+func RunAccuracy(tb *Testbed, sensitivity float64, attackFor time.Duration, strength attack.Intensity) (*AccuracyResult, error) {
+	if err := validateTapMode(tb.Cfg.Tap); err != nil {
+		return nil, err
+	}
+	if err := tb.Train(); err != nil {
+		return nil, err
+	}
+	if err := tb.IDS.SetSensitivity(sensitivity); err != nil {
+		return nil, err
+	}
+	start := tb.Sim.Now()
+	camp := attack.NewCampaign(tb.AttackContext())
+	if err := camp.SpreadAcross(start+2*time.Second, attackFor-4*time.Second, attack.StandardScenarios(strength)); err != nil {
+		return nil, err
+	}
+	tb.Sim.RunUntil(start + attackFor)
+	tb.Drain()
+	tb.IDS.Flush()
+	return scoreAccuracy(tb, sensitivity, camp)
+}
+
+// scoreAccuracy matches reports to truth and computes the Figure-3
+// ratios.
+func scoreAccuracy(tb *Testbed, sensitivity float64, camp *attack.Campaign) (*AccuracyResult, error) {
+	truth := camp.Incidents()
+	reports := tb.IDS.Monitor().Incidents
+
+	res := &AccuracyResult{
+		Product:           tb.Spec.Name,
+		Sensitivity:       sensitivity,
+		ActualIncidents:   len(truth),
+		ReportedIncidents: len(reports),
+		ByTechnique:       make(map[string]bool),
+	}
+	res.Transactions = int(tb.Gen.SessionsStarted) + len(truth)
+	res.TruthIncidents = truth
+	if res.Transactions == 0 {
+		return nil, fmt.Errorf("eval: empty run — no transactions")
+	}
+
+	res.compromisedTruth = make(map[uint32]bool)
+	res.compromisedFound = make(map[uint32]bool)
+
+	matchedReport := make(map[*ids.ReportedIncident]bool)
+	var delays []time.Duration
+	for _, inc := range truth {
+		compromise := inc.Technique == attack.TechInsider || inc.Technique == attack.TechMasquerade
+		if compromise {
+			if inc.Technique == attack.TechInsider {
+				res.compromisedTruth[uint32(inc.Attacker)] = true
+			}
+			res.compromisedTruth[uint32(inc.Victim)] = true
+		}
+		detected := false
+		var firstReport time.Duration = -1
+		for _, rep := range reports {
+			if matches(rep, inc) {
+				matchedReport[rep] = true
+				detected = true
+				if firstReport < 0 || rep.ReportedAt < firstReport {
+					firstReport = rep.ReportedAt
+				}
+				if compromise {
+					for _, a := range []uint32{uint32(rep.Attacker), uint32(rep.Victim)} {
+						if res.compromisedTruth[a] {
+							res.compromisedFound[a] = true
+						}
+					}
+				}
+			}
+		}
+		res.ByTechnique[inc.Technique] = res.ByTechnique[inc.Technique] || detected
+		if detected {
+			res.DetectedIncidents++
+			delay := firstReport - inc.Start
+			if delay < 0 {
+				delay = 0
+			}
+			delays = append(delays, delay)
+		}
+	}
+	for _, rep := range reports {
+		if !matchedReport[rep] {
+			res.FalseAlarms++
+		}
+	}
+
+	missed := res.ActualIncidents - res.DetectedIncidents
+	res.FalsePositiveRatio = float64(res.FalseAlarms) / float64(res.Transactions)
+	res.FalseNegativeRatio = float64(missed) / float64(res.Transactions)
+	if res.ActualIncidents > 0 {
+		res.MissRate = float64(missed) / float64(res.ActualIncidents)
+		res.DetectionRate = 1 - res.MissRate
+	}
+	if len(delays) > 0 {
+		var sum time.Duration
+		for _, d := range delays {
+			sum += d
+			if d > res.MaxDetectionDelay {
+				res.MaxDetectionDelay = d
+			}
+		}
+		res.MeanDetectionDelay = sum / time.Duration(len(delays))
+	}
+
+	if c := tb.IDS.Console(); c != nil {
+		res.FirewallBlocks = len(c.Firewall.BlockEvents)
+		res.RouterRedirects = len(c.Redirects)
+		res.SNMPTraps = len(c.SNMPTraps)
+		res.FilteredPackets = c.Firewall.FilteredPackets
+	}
+	st := tb.IDS.Stats()
+	res.SensorDrops = st.SensorDropped
+	res.SensorFailures = st.SensorFailures
+	res.StorageBytes = st.StorageBytes
+	res.IngestedBytes = tb.Gen.BytesEmitted
+	res.Profiles = tb.IDS.Monitor().IntentReport()
+	return res, nil
+}
+
+// Techniques returns the run's technique outcomes sorted by name.
+func (r *AccuracyResult) Techniques() []string {
+	out := make([]string, 0, len(r.ByTechnique))
+	for t := range r.ByTechnique {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

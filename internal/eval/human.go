@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/operator"
+	"repro/internal/products"
+	"repro/internal/simtime"
+)
+
+// HumanResult is the human-dimension experiment outcome (the paper's
+// future-work extension): how a product's notification stream lands on a
+// single watch-stander.
+type HumanResult struct {
+	Product string
+	// Notifications the monitor issued during the run.
+	Notifications int
+	// Report summarizes operator outcomes.
+	Report operator.Report
+	// ActualIncidents is the ground-truth attack count.
+	ActualIncidents int
+	// WireDetected is how many the IDS detected at the wire.
+	WireDetected int
+	// HumanActedOn is how many ground-truth incidents a notification was
+	// actually acted on for — the end-to-end detection rate including
+	// the human.
+	HumanActedOn int
+}
+
+// MeasureHumanDimension runs the standard accuracy campaign, then plays
+// the monitor's notification log against the watch-stander model. A
+// noisy product can detect everything at the wire and still lose at the
+// human: floods of marginal notifications bury the real ones.
+func MeasureHumanDimension(spec products.Spec, sensitivity float64, seed int64) (*HumanResult, error) {
+	tb, err := NewTestbed(spec, TestbedConfig{Seed: seed, TrainFor: 8 * time.Second, BackgroundPps: 250})
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunAccuracy(tb, sensitivity, 20*time.Second, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	notifications := tb.IDS.Monitor().Notifications
+
+	// Replay the notification log on a fresh clock for the operator.
+	sim := simtime.New(seed)
+	op := operator.New(sim, operator.Config{})
+	if err := op.Feed(notifications); err != nil {
+		return nil, err
+	}
+	sim.Run()
+
+	out := &HumanResult{
+		Product:         spec.Name,
+		Notifications:   len(notifications),
+		Report:          op.Report(),
+		ActualIncidents: res.ActualIncidents,
+		WireDetected:    res.DetectedIncidents,
+	}
+	// Reported incidents the operator acted on (notification handlings
+	// reference the monitor's incident pointers directly).
+	acted := make(map[*ids.ReportedIncident]bool)
+	for _, h := range op.Handled {
+		if h.Outcome == operator.ActedOn {
+			acted[h.Notification.Incident] = true
+		}
+	}
+	for _, inc := range res.TruthIncidents {
+		for _, rep := range tb.IDS.Monitor().Incidents {
+			if acted[rep] && matches(rep, inc) {
+				out.HumanActedOn++
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// PlacementResult compares sensor placements on the segmented topology:
+// a single central SPAN at the distribution switch versus one sensor per
+// subnet. Visibility is counted over labeled attack packets, separating
+// a north-south exploit from an intra-subnet insider pull.
+type PlacementResult struct {
+	// CentralSawExploit / CentralSawInsider: central SPAN visibility.
+	CentralSawExploit bool
+	CentralSawInsider bool
+	// LeafSawExploit / LeafSawInsider: any per-subnet sensor's visibility.
+	LeafSawExploit bool
+	LeafSawInsider bool
+	// CentralPackets / LeafPackets count attack packets observed.
+	CentralPackets uint64
+	LeafPackets    uint64
+}
+
+// attackVisibility runs a fixed two-attack script over the segmented
+// topology with the given tap attachment and reports what was seen.
+func attackVisibility(seed int64, attach func(top *netsim.SegmentedTopology, counter func(p *packet.Packet))) (sawExploit, sawInsider bool, packets uint64) {
+	sim := simtime.New(seed)
+	top := netsim.BuildSegmentedTopology(sim, netsim.SegmentedConfig{Subnets: 2, HostsPerSubnet: 2, ExternalHosts: 1})
+	var exploitSeen, insiderSeen bool
+	var count uint64
+	attach(top, func(p *packet.Packet) {
+		if !p.Truth.Malicious {
+			return
+		}
+		count++
+		switch p.Truth.Technique {
+		case "exploit":
+			exploitSeen = true
+		case "insider-misuse":
+			insiderSeen = true
+		}
+	})
+
+	// North-south exploit: external host to subnet 0.
+	ext := top.External[0]
+	victim := top.Segment[0][0]
+	sim.MustSchedule(time.Millisecond, func() {
+		ext.Send(&packet.Packet{
+			Dst: victim.Addr(), SrcPort: 4000, DstPort: 80, Proto: packet.ProtoTCP,
+			Flags:   packet.ACK | packet.PSH,
+			Payload: []byte("GET /cgi-bin/phf?x HTTP/1.0\r\n\r\n"),
+			Truth:   packet.Label{Malicious: true, AttackID: "a1", Technique: "exploit"},
+		})
+	})
+	// Intra-subnet insider: host to host on the same leaf, never leaving
+	// the leaf switch.
+	insider := top.Segment[1][0]
+	target := top.Segment[1][1]
+	sim.MustSchedule(2*time.Millisecond, func() {
+		insider.Send(&packet.Packet{
+			Dst: target.Addr(), SrcPort: 4001, DstPort: 514, Proto: packet.ProtoTCP,
+			Flags:   packet.ACK | packet.PSH,
+			Payload: []byte("cat /etc/shadow\n"),
+			Truth:   packet.Label{Malicious: true, AttackID: "a2", Technique: "insider-misuse"},
+		})
+	})
+	sim.Run()
+	return exploitSeen, insiderSeen, count
+}
+
+// MeasurePlacement runs the visibility comparison. The structural result
+// the paper's placement warning predicts: the central sensor is blind to
+// intra-subnet insider traffic; per-subnet placement sees it.
+func MeasurePlacement(seed int64) *PlacementResult {
+	res := &PlacementResult{}
+	res.CentralSawExploit, res.CentralSawInsider, res.CentralPackets = attackVisibility(seed,
+		func(top *netsim.SegmentedTopology, counter func(p *packet.Packet)) {
+			sink := netsim.NewSink("central")
+			sink.OnPacket = counter
+			top.AttachDistMirror(sink, netsim.LinkConfig{BandwidthBps: 10e9})
+		})
+	res.LeafSawExploit, res.LeafSawInsider, res.LeafPackets = attackVisibility(seed,
+		func(top *netsim.SegmentedTopology, counter func(p *packet.Packet)) {
+			for i := range top.Leaves {
+				sink := netsim.NewSink("leaf-sensor")
+				sink.OnPacket = counter
+				// Errors impossible: i ranges over existing leaves.
+				_, _ = top.AttachLeafMirror(i, sink, netsim.LinkConfig{BandwidthBps: 10e9})
+			}
+		})
+	return res
+}

@@ -1,0 +1,199 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/products"
+)
+
+// SweepPoint is one sensitivity setting's error rates — one x-position on
+// the paper's Figure 4.
+type SweepPoint struct {
+	Sensitivity float64
+	// TypeI is the false-positive error percentage: false alarms per
+	// transaction × 100.
+	TypeI float64
+	// TypeII is the false-negative error percentage: missed attacks per
+	// actual attack × 100.
+	TypeII float64
+	// Raw retains the full run result.
+	Raw *AccuracyResult
+}
+
+// SweepResult is the Figure-4 reproduction: both error curves and the
+// equal error rate.
+type SweepResult struct {
+	Product string
+	Points  []SweepPoint
+	// EER is the interpolated sensitivity where the curves cross.
+	EER float64
+	// EERError is the common error percentage at the crossover.
+	EERError float64
+	// EERValid is false when the curves never cross in the swept range.
+	EERValid bool
+}
+
+// SweepOptions sizes the experiment.
+type SweepOptions struct {
+	Seed     int64
+	Points   int           // default 6
+	TrainFor time.Duration // default 15s
+	RunFor   time.Duration // default 30s
+	Pps      float64       // default 400
+	Strength attack.Intensity
+}
+
+func (o *SweepOptions) applyDefaults() {
+	if o.Points == 0 {
+		o.Points = 6
+	}
+	if o.TrainFor == 0 {
+		o.TrainFor = 15 * time.Second
+	}
+	if o.RunFor == 0 {
+		o.RunFor = 30 * time.Second
+	}
+	if o.Pps == 0 {
+		o.Pps = 400
+	}
+	if o.Strength == 0 {
+		o.Strength = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+}
+
+// SensitivitySweep reruns the accuracy experiment across the sensitivity
+// range, producing the Type I / Type II error curves of Figure 4. Each
+// point uses a fresh testbed with the same seed, so the only varying
+// factor is the sensitivity knob. Points are independent simulations, so
+// they fan out across a worker pool sized to the machine; results are
+// reassembled in order, making the parallel sweep bit-identical to a
+// serial one.
+func SensitivitySweep(spec products.Spec, opts SweepOptions) (*SweepResult, error) {
+	opts.applyDefaults()
+	if opts.Points < 2 {
+		return nil, fmt.Errorf("eval: sweep needs at least 2 points, got %d", opts.Points)
+	}
+	out := &SweepResult{Product: spec.Name}
+	out.Points = make([]SweepPoint, opts.Points)
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	errs := make(chan error, opts.Points)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > opts.Points {
+		workers = opts.Points
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s := float64(j.idx) / float64(opts.Points-1)
+				tb, err := NewTestbed(spec, TestbedConfig{
+					Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
+				})
+				if err != nil {
+					errs <- err
+					continue
+				}
+				res, err := RunAccuracy(tb, s, opts.RunFor, opts.Strength)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				out.Points[j.idx] = SweepPoint{
+					Sensitivity: s,
+					TypeI:       res.FalsePositiveRatio * 100,
+					TypeII:      res.MissRate * 100,
+					Raw:         res,
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.Points; i++ {
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.EER, out.EERError, out.EERValid = equalErrorRate(out.Points)
+	return out, nil
+}
+
+// equalErrorRate finds the crossover of the Type I and Type II curves by
+// linear interpolation between adjacent sweep points.
+func equalErrorRate(points []SweepPoint) (sens, errPct float64, ok bool) {
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1], points[i]
+		da := a.TypeII - a.TypeI
+		db := b.TypeII - b.TypeI
+		if da == 0 {
+			return a.Sensitivity, a.TypeI, true
+		}
+		if da*db < 0 {
+			// Sign change: interpolate the zero of (TypeII - TypeI).
+			t := da / (da - db)
+			s := a.Sensitivity + t*(b.Sensitivity-a.Sensitivity)
+			e := a.TypeI + t*(b.TypeI-a.TypeI)
+			return s, e, true
+		}
+	}
+	if n := len(points); n > 0 && points[n-1].TypeII == points[n-1].TypeI {
+		return points[n-1].Sensitivity, points[n-1].TypeI, true
+	}
+	return 0, 0, false
+}
+
+// SensitivityEffect summarizes whether the knob actually moves the error
+// trade-off — the evidence behind the Adjustable Sensitivity score.
+type SensitivityEffect struct {
+	// TypeIIRange is max−min Type II across the sweep.
+	TypeIIRange float64
+	// TypeIRange is max−min Type I across the sweep.
+	TypeIRange float64
+	// TradeoffDirectionOK means Type II at max sensitivity <= at min,
+	// and Type I at max >= at min (the expected directions).
+	TradeoffDirectionOK bool
+}
+
+// Effect computes the SensitivityEffect of a sweep.
+func (s *SweepResult) Effect() SensitivityEffect {
+	var e SensitivityEffect
+	if len(s.Points) < 2 {
+		return e
+	}
+	minI, maxI := s.Points[0].TypeI, s.Points[0].TypeI
+	minII, maxII := s.Points[0].TypeII, s.Points[0].TypeII
+	for _, p := range s.Points {
+		if p.TypeI < minI {
+			minI = p.TypeI
+		}
+		if p.TypeI > maxI {
+			maxI = p.TypeI
+		}
+		if p.TypeII < minII {
+			minII = p.TypeII
+		}
+		if p.TypeII > maxII {
+			maxII = p.TypeII
+		}
+	}
+	e.TypeIRange = maxI - minI
+	e.TypeIIRange = maxII - minII
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	e.TradeoffDirectionOK = last.TypeII <= first.TypeII && last.TypeI >= first.TypeI
+	return e
+}

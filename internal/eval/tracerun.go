@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/ids"
+	"repro/internal/packet"
+	"repro/internal/products"
+	"repro/internal/trace"
+)
+
+// RunTraceAccuracy replays a canned trace (Lesson 2) against a product
+// and scores the monitor's reports against the trace's ground-truth
+// sidecar. The product first trains on live clean background for
+// trainFor, then the entire trace is replayed through the testbed hosts.
+func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, trainFor time.Duration, seed int64) (*AccuracyResult, error) {
+	if len(tr.Records) == 0 {
+		return nil, fmt.Errorf("eval: empty trace")
+	}
+	// Size the testbed to cover every address the trace uses.
+	maxCluster, maxExternal := 0, 0
+	for _, rec := range tr.Records {
+		for _, a := range []packet.Addr{rec.Pk.Src, rec.Pk.Dst} {
+			o1, o2, o3, o4 := a.Octets()
+			idx := int(o3-1)*250 + int(o4-1)
+			switch {
+			case o1 == 10 && o2 == 1 && idx >= maxCluster:
+				maxCluster = idx + 1
+			case o1 == 203 && o2 == 0 && idx >= maxExternal:
+				maxExternal = idx + 1
+			}
+		}
+	}
+	tb, err := NewTestbed(spec, TestbedConfig{
+		Seed: seed, TrainFor: trainFor,
+		ClusterHosts: maxCluster, ExternalHosts: maxExternal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Train(); err != nil {
+		return nil, err
+	}
+	if err := tb.IDS.SetSensitivity(sensitivity); err != nil {
+		return nil, err
+	}
+	replayStart := tb.Sim.Now()
+	if err := trace.Replay(tb.Sim, tr, replayStart, 1, tb.inject); err != nil {
+		return nil, err
+	}
+	tb.Drain()
+	tb.IDS.Flush()
+
+	// Ground truth times in the trace are relative to its own timeline;
+	// shift to the replay clock.
+	base := tr.Records[0].At
+	shifted := make([]attack.Incident, len(tr.Incidents))
+	for i, inc := range tr.Incidents {
+		inc.Start = inc.Start - base + replayStart
+		shifted[i] = inc
+	}
+
+	res, err := scoreTraceAccuracy(tb, sensitivity, shifted, tr)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// scoreTraceAccuracy mirrors scoreAccuracy but takes truth from a trace
+// sidecar and estimates |T| from the trace's conversation count.
+func scoreTraceAccuracy(tb *Testbed, sensitivity float64, truth []attack.Incident, tr *trace.Trace) (*AccuracyResult, error) {
+	// Conversations (canonical flows) approximate the trace's transaction
+	// count; the background generator's own sessions during training are
+	// excluded on purpose — the measured period is the replay.
+	convs := make(map[packet.FlowKey]bool)
+	for _, rec := range tr.Records {
+		if !rec.Pk.Truth.Malicious {
+			convs[rec.Pk.Key().Canonical()] = true
+		}
+	}
+	reports := tb.IDS.Monitor().Incidents
+	res := &AccuracyResult{
+		Product:           tb.Spec.Name,
+		Sensitivity:       sensitivity,
+		ActualIncidents:   len(truth),
+		ReportedIncidents: len(reports),
+		ByTechnique:       make(map[string]bool),
+		Transactions:      len(convs) + len(truth),
+		TruthIncidents:    truth,
+		compromisedTruth:  make(map[uint32]bool),
+		compromisedFound:  make(map[uint32]bool),
+	}
+	if res.Transactions == 0 {
+		return nil, fmt.Errorf("eval: trace has no transactions")
+	}
+	matched := make(map[*ids.ReportedIncident]bool)
+	var delays []time.Duration
+	for _, inc := range truth {
+		detected := false
+		var first time.Duration = -1
+		for _, rep := range reports {
+			if matches(rep, inc) {
+				matched[rep] = true
+				detected = true
+				if first < 0 || rep.ReportedAt < first {
+					first = rep.ReportedAt
+				}
+			}
+		}
+		res.ByTechnique[inc.Technique] = res.ByTechnique[inc.Technique] || detected
+		if detected {
+			res.DetectedIncidents++
+			d := first - inc.Start
+			if d < 0 {
+				d = 0
+			}
+			delays = append(delays, d)
+		}
+	}
+	for _, rep := range reports {
+		if !matched[rep] {
+			res.FalseAlarms++
+		}
+	}
+	missed := res.ActualIncidents - res.DetectedIncidents
+	res.FalsePositiveRatio = float64(res.FalseAlarms) / float64(res.Transactions)
+	res.FalseNegativeRatio = float64(missed) / float64(res.Transactions)
+	if res.ActualIncidents > 0 {
+		res.MissRate = float64(missed) / float64(res.ActualIncidents)
+		res.DetectionRate = 1 - res.MissRate
+	}
+	for _, d := range delays {
+		res.MeanDetectionDelay += d
+		if d > res.MaxDetectionDelay {
+			res.MaxDetectionDelay = d
+		}
+	}
+	if len(delays) > 0 {
+		res.MeanDetectionDelay /= time.Duration(len(delays))
+	}
+	if c := tb.IDS.Console(); c != nil {
+		res.FirewallBlocks = len(c.Firewall.BlockEvents)
+		res.RouterRedirects = len(c.Redirects)
+		res.SNMPTraps = len(c.SNMPTraps)
+		res.FilteredPackets = c.Firewall.FilteredPackets
+	}
+	st := tb.IDS.Stats()
+	res.SensorDrops = st.SensorDropped
+	res.SensorFailures = st.SensorFailures
+	res.StorageBytes = st.StorageBytes
+	res.Profiles = tb.IDS.Monitor().IntentReport()
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// ReportedIncident is the analyzer's correlated view of one threat: all
+// alerts for the same (attacker, victim, technique) within the
+// correlation window, reported to the monitor on first alert (timeliness
+// is measured against this report time).
+type ReportedIncident struct {
+	// Key fields.
+	Attacker, Victim packet.Addr
+	Technique        string
+	// Severity is the maximum alert severity seen.
+	Severity float64
+	// FirstAlert/LastAlert bound the alert activity.
+	FirstAlert, LastAlert time.Duration
+	// ReportedAt is when the monitor learned of the incident.
+	ReportedAt time.Duration
+	// AlertCount is how many alerts were folded in.
+	AlertCount int
+	// Engines lists contributing engine names.
+	Engines []string
+	// sampleAlerts retains the first alerts for evidence (capped).
+	sampleAlerts []detect.Alert
+}
+
+// String renders a one-line summary.
+func (r *ReportedIncident) String() string {
+	return fmt.Sprintf("%s %v->%v sev=%.2f alerts=%d reported=%v",
+		r.Technique, r.Attacker, r.Victim, r.Severity, r.AlertCount, r.ReportedAt)
+}
+
+// Analyzer is the analysis subprocess: it performs first-order severity
+// assessment and second-order correlation (scope/frequency) by folding
+// alert streams into incidents, and it accounts for the historical data
+// storage the Data Storage metric measures.
+type Analyzer struct {
+	sim    *simtime.Sim
+	id     int
+	window time.Duration
+
+	open map[string]*ReportedIncident
+
+	monitor *Monitor
+	// storagePerAlert models retained context bytes per alert.
+	storagePerAlert int
+
+	// AlertsSeen counts all alerts submitted.
+	AlertsSeen uint64
+	// StorageBytes models accumulated historical data.
+	StorageBytes uint64
+}
+
+// NewAnalyzer builds one analyzer reporting to monitor.
+func NewAnalyzer(sim *simtime.Sim, id int, window time.Duration, storagePerAlert int, monitor *Monitor) *Analyzer {
+	return &Analyzer{
+		sim: sim, id: id, window: window,
+		open:            make(map[string]*ReportedIncident),
+		monitor:         monitor,
+		storagePerAlert: storagePerAlert,
+	}
+}
+
+// ID returns the analyzer index.
+func (a *Analyzer) ID() int { return a.id }
+
+func incidentKey(al detect.Alert) string {
+	return fmt.Sprintf("%d/%d/%s", al.Attacker, al.Victim, al.Technique)
+}
+
+// Submit folds a batch of alerts into open incidents, creating and
+// reporting new incidents as needed.
+func (a *Analyzer) Submit(alerts []detect.Alert) {
+	now := a.sim.Now()
+	for _, al := range alerts {
+		a.AlertsSeen++
+		a.StorageBytes += uint64(a.storagePerAlert)
+		k := incidentKey(al)
+		inc, ok := a.open[k]
+		if ok && now-inc.LastAlert > a.window {
+			// Stale: close it out and start fresh.
+			delete(a.open, k)
+			ok = false
+		}
+		if !ok {
+			inc = &ReportedIncident{
+				Attacker: al.Attacker, Victim: al.Victim, Technique: al.Technique,
+				Severity: al.Severity, FirstAlert: al.At, LastAlert: al.At,
+				ReportedAt: now, AlertCount: 1, Engines: []string{al.Engine},
+				sampleAlerts: []detect.Alert{al},
+			}
+			a.open[k] = inc
+			a.monitor.Report(inc)
+			continue
+		}
+		inc.AlertCount++
+		if len(inc.sampleAlerts) < maxSampleAlerts {
+			inc.sampleAlerts = append(inc.sampleAlerts, al)
+		}
+		if al.Severity > inc.Severity {
+			inc.Severity = al.Severity
+			// Escalation may cross the notification threshold.
+			a.monitor.Escalate(inc)
+		}
+		if al.At > inc.LastAlert {
+			inc.LastAlert = al.At
+		}
+		found := false
+		for _, e := range inc.Engines {
+			if e == al.Engine {
+				found = true
+				break
+			}
+		}
+		if !found {
+			inc.Engines = append(inc.Engines, al.Engine)
+		}
+	}
+}
+
+// Flush closes every open incident (end of run).
+func (a *Analyzer) Flush() {
+	a.open = make(map[string]*ReportedIncident)
+}
+
+// Monitor is the monitoring subprocess: the operator's view of the
+// threat. It retains every reported incident, issues notifications when
+// severity crosses policy, and supports the historical querying the
+// monitoring metrics describe.
+type Monitor struct {
+	sim *simtime.Sim
+	// NotifyThreshold is the minimum severity for operator notification.
+	NotifyThreshold float64
+
+	// Incidents is every incident reported, in report order.
+	Incidents []*ReportedIncident
+	// Notifications records operator alerts.
+	Notifications []Notification
+
+	notified map[*ReportedIncident]bool
+	// onNotify, when set (console attached), receives notified incidents
+	// for automated response.
+	onNotify func(inc *ReportedIncident)
+}
+
+// Notification is one operator alert.
+type Notification struct {
+	At       time.Duration
+	Incident *ReportedIncident
+}
+
+// NewMonitor builds the monitor.
+func NewMonitor(sim *simtime.Sim, threshold float64) *Monitor {
+	return &Monitor{sim: sim, NotifyThreshold: threshold, notified: make(map[*ReportedIncident]bool)}
+}
+
+// Report registers a new incident and notifies if warranted.
+func (m *Monitor) Report(inc *ReportedIncident) {
+	m.Incidents = append(m.Incidents, inc)
+	m.maybeNotify(inc)
+}
+
+// Escalate re-evaluates notification after a severity increase.
+func (m *Monitor) Escalate(inc *ReportedIncident) { m.maybeNotify(inc) }
+
+func (m *Monitor) maybeNotify(inc *ReportedIncident) {
+	if m.notified[inc] || inc.Severity < m.NotifyThreshold {
+		return
+	}
+	m.notified[inc] = true
+	m.Notifications = append(m.Notifications, Notification{At: m.sim.Now(), Incident: inc})
+	if m.onNotify != nil {
+		m.onNotify(inc)
+	}
+}
+
+// Query returns incidents overlapping [from, to], most severe first —
+// the "historical querying ability" of the monitoring subprocess.
+func (m *Monitor) Query(from, to time.Duration) []*ReportedIncident {
+	var out []*ReportedIncident
+	for _, inc := range m.Incidents {
+		if inc.LastAlert >= from && inc.FirstAlert <= to {
+			out = append(out, inc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].FirstAlert < out[j].FirstAlert
+	})
+	return out
+}

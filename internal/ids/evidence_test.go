@@ -1,0 +1,84 @@
+package ids
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func simtimeNew1() *simtime.Sim { return simtime.New(1) }
+
+func TestEvidenceBundleCollectsAlertsAndRecording(t *testing.T) {
+	sim, s := recordingIDS(t, 0)
+	// Three attack packets: first alert arms recording; the rest are
+	// captured and folded into the same incident.
+	for i := 0; i < 3; i++ {
+		s.Ingest(attackPkt(1))
+		sim.Run()
+	}
+	if len(s.Monitor().Incidents) != 1 {
+		t.Fatalf("%d incidents", len(s.Monitor().Incidents))
+	}
+	inc := s.Monitor().Incidents[0]
+	b := s.Evidence(inc)
+	if len(b.Alerts) != 3 {
+		t.Fatalf("%d sample alerts, want 3", len(b.Alerts))
+	}
+	if b.Recording == nil || len(b.Recording.Packets) == 0 {
+		t.Fatal("no recording attached to evidence")
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"technique": "stub-attack"`, `"alerts"`, `"recorded_packets"`, `"reason": "X marker"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("evidence JSON missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(b.Summary(), "stub-attack") {
+		t.Fatalf("summary = %q", b.Summary())
+	}
+}
+
+func TestEvidenceSampleCap(t *testing.T) {
+	sim, s := recordingIDS(t, 0)
+	for i := 0; i < maxSampleAlerts+20; i++ {
+		s.Ingest(attackPkt(1))
+		sim.Run()
+	}
+	inc := s.Monitor().Incidents[0]
+	if len(inc.sampleAlerts) != maxSampleAlerts {
+		t.Fatalf("sample alerts = %d, want cap %d", len(inc.sampleAlerts), maxSampleAlerts)
+	}
+	if inc.AlertCount != maxSampleAlerts+20 {
+		t.Fatalf("AlertCount = %d", inc.AlertCount)
+	}
+}
+
+func TestEvidenceWithoutRecording(t *testing.T) {
+	sim := simtimeNew1()
+	s, err := New(sim, Config{Name: "plain", Engine: stubFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Ingest(attackPkt(1))
+	sim.Run()
+	b := s.Evidence(s.Monitor().Incidents[0])
+	if b.Recording != nil {
+		t.Fatal("recording present without RecordSessions")
+	}
+	if !strings.Contains(b.Summary(), "no session recording") {
+		t.Fatalf("summary = %q", b.Summary())
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "recorded_packets") {
+		t.Fatal("empty recording serialized")
+	}
+}

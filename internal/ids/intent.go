@@ -1,0 +1,148 @@
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Intent is the analyzer's second-order classification of what an
+// attacker is trying to accomplish — the Analysis of Intruder Intent
+// performance capability. Section 2.2: "Primary analysis determines
+// threat severity. Secondary analysis determines scope, intent, or
+// frequency of the threat."
+type Intent int
+
+// Intent categories, ordered by campaign progression.
+const (
+	IntentUnknown Intent = iota
+	// IntentReconnaissance: mapping the target (scans, probes).
+	IntentReconnaissance
+	// IntentDenial: degrading availability (floods).
+	IntentDenial
+	// IntentPenetration: gaining access (exploits, brute force).
+	IntentPenetration
+	// IntentEscalation: consolidating control (masquerade, privilege).
+	IntentEscalation
+	// IntentExfiltration: removing data (tunnels, insider pulls).
+	IntentExfiltration
+)
+
+// String names the intent.
+func (i Intent) String() string {
+	switch i {
+	case IntentReconnaissance:
+		return "reconnaissance"
+	case IntentDenial:
+		return "denial-of-service"
+	case IntentPenetration:
+		return "penetration"
+	case IntentEscalation:
+		return "escalation"
+	case IntentExfiltration:
+		return "exfiltration"
+	default:
+		return "unknown"
+	}
+}
+
+// techniqueIntent maps detector technique labels to intents. Anomaly
+// engines emit behaviour labels; signature engines emit attack-class
+// labels; both map.
+var techniqueIntent = map[string]Intent{
+	"portscan":        IntentReconnaissance,
+	"synflood":        IntentDenial,
+	"rate-anomaly":    IntentDenial,
+	"bruteforce":      IntentPenetration,
+	"exploit":         IntentPenetration,
+	"masquerade":      IntentEscalation,
+	"insider-misuse":  IntentExfiltration,
+	"dns-tunnel":      IntentExfiltration,
+	"content-anomaly": IntentExfiltration,
+	"novel-service":   IntentReconnaissance,
+}
+
+// ClassifyIntent maps one technique label to an intent category.
+func ClassifyIntent(technique string) Intent {
+	return techniqueIntent[technique]
+}
+
+// AttackerProfile is the analyzer's per-attacker second-order view:
+// which intents the attacker has shown, how many victims, and a campaign
+// stage estimate.
+type AttackerProfile struct {
+	Attacker packet.Addr
+	// Intents observed, with incident counts.
+	Intents map[Intent]int
+	// Victims is the distinct victim count (scope of the threat).
+	Victims int
+	// FirstSeen/LastSeen bound the attacker's activity.
+	FirstSeen, LastSeen time.Duration
+	// Stage is the furthest campaign stage observed.
+	Stage Intent
+	// Incidents contributing to the profile.
+	Incidents int
+}
+
+// String renders a one-line profile.
+func (p *AttackerProfile) String() string {
+	return fmt.Sprintf("%v: %d incidents, %d victims, stage=%v",
+		p.Attacker, p.Incidents, p.Victims, p.Stage)
+}
+
+// IntentReport performs second-order analysis across the monitor's
+// incidents: per-attacker profiles with scope (victim count) and the
+// furthest campaign stage. Attackers are returned most-advanced first
+// (deeper stage, then more victims).
+func (m *Monitor) IntentReport() []*AttackerProfile {
+	byAttacker := make(map[packet.Addr]*AttackerProfile)
+	victims := make(map[packet.Addr]map[packet.Addr]bool)
+	for _, inc := range m.Incidents {
+		if inc.Attacker == 0 {
+			continue
+		}
+		p, ok := byAttacker[inc.Attacker]
+		if !ok {
+			p = &AttackerProfile{
+				Attacker:  inc.Attacker,
+				Intents:   make(map[Intent]int),
+				FirstSeen: inc.FirstAlert,
+				LastSeen:  inc.LastAlert,
+			}
+			byAttacker[inc.Attacker] = p
+			victims[inc.Attacker] = make(map[packet.Addr]bool)
+		}
+		p.Incidents++
+		intent := ClassifyIntent(inc.Technique)
+		p.Intents[intent]++
+		if intent > p.Stage {
+			p.Stage = intent
+		}
+		if inc.Victim != 0 {
+			victims[inc.Attacker][inc.Victim] = true
+		}
+		if inc.FirstAlert < p.FirstSeen {
+			p.FirstSeen = inc.FirstAlert
+		}
+		if inc.LastAlert > p.LastSeen {
+			p.LastSeen = inc.LastAlert
+		}
+	}
+	out := make([]*AttackerProfile, 0, len(byAttacker))
+	for a, p := range byAttacker {
+		p.Victims = len(victims[a])
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage > out[j].Stage
+		}
+		if out[i].Victims != out[j].Victims {
+			return out[i].Victims > out[j].Victims
+		}
+		return out[i].Attacker < out[j].Attacker
+	})
+	return out
+}

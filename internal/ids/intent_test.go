@@ -1,0 +1,116 @@
+package ids
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+func TestClassifyIntent(t *testing.T) {
+	cases := map[string]Intent{
+		"portscan":       IntentReconnaissance,
+		"synflood":       IntentDenial,
+		"exploit":        IntentPenetration,
+		"bruteforce":     IntentPenetration,
+		"masquerade":     IntentEscalation,
+		"dns-tunnel":     IntentExfiltration,
+		"insider-misuse": IntentExfiltration,
+		"made-up-label":  IntentUnknown,
+	}
+	for tech, want := range cases {
+		if got := ClassifyIntent(tech); got != want {
+			t.Errorf("ClassifyIntent(%q) = %v, want %v", tech, got, want)
+		}
+	}
+}
+
+func TestIntentStageOrdering(t *testing.T) {
+	// Campaign stages must order recon < denial < penetration <
+	// escalation < exfiltration so "furthest stage" is meaningful.
+	if !(IntentReconnaissance < IntentDenial &&
+		IntentDenial < IntentPenetration &&
+		IntentPenetration < IntentEscalation &&
+		IntentEscalation < IntentExfiltration) {
+		t.Fatal("intent progression ordering broken")
+	}
+}
+
+// reportIncident injects a synthetic incident into a monitor.
+func reportIncident(m *Monitor, technique string, attacker, victim packet.Addr, at time.Duration) {
+	m.Report(&ReportedIncident{
+		Attacker: attacker, Victim: victim, Technique: technique,
+		Severity: 0.8, FirstAlert: at, LastAlert: at, ReportedAt: at, AlertCount: 1,
+	})
+}
+
+func TestIntentReportProfilesAttackers(t *testing.T) {
+	sim := simtime.New(1)
+	m := NewMonitor(sim, 0.5)
+	atkA := packet.IPv4(203, 0, 1, 1)
+	atkB := packet.IPv4(203, 0, 1, 2)
+	v1 := packet.IPv4(10, 1, 1, 1)
+	v2 := packet.IPv4(10, 1, 1, 2)
+
+	// Attacker A: full campaign — scan, exploit, masquerade — two victims.
+	reportIncident(m, "portscan", atkA, v1, time.Second)
+	reportIncident(m, "exploit", atkA, v1, 2*time.Second)
+	reportIncident(m, "masquerade", atkA, v2, 3*time.Second)
+	// Attacker B: a lone flood.
+	reportIncident(m, "synflood", atkB, v1, 4*time.Second)
+
+	profiles := m.IntentReport()
+	if len(profiles) != 2 {
+		t.Fatalf("%d profiles, want 2", len(profiles))
+	}
+	// Most-advanced attacker first.
+	a := profiles[0]
+	if a.Attacker != atkA {
+		t.Fatalf("first profile = %v, want the escalated attacker", a.Attacker)
+	}
+	if a.Stage != IntentEscalation {
+		t.Fatalf("stage = %v, want escalation", a.Stage)
+	}
+	if a.Victims != 2 || a.Incidents != 3 {
+		t.Fatalf("profile = %+v", a)
+	}
+	if a.Intents[IntentReconnaissance] != 1 || a.Intents[IntentPenetration] != 1 {
+		t.Fatalf("intent counts = %v", a.Intents)
+	}
+	if a.FirstSeen != time.Second || a.LastSeen != 3*time.Second {
+		t.Fatalf("activity window %v..%v", a.FirstSeen, a.LastSeen)
+	}
+	b := profiles[1]
+	if b.Stage != IntentDenial || b.Victims != 1 {
+		t.Fatalf("second profile = %+v", b)
+	}
+}
+
+func TestIntentReportSkipsUnattributed(t *testing.T) {
+	sim := simtime.New(1)
+	m := NewMonitor(sim, 0.5)
+	reportIncident(m, "ids-sensor-failure", 0, 0, time.Second)
+	if got := m.IntentReport(); len(got) != 0 {
+		t.Fatalf("unattributed incident produced %d profiles", len(got))
+	}
+}
+
+func TestIntentReportEndToEnd(t *testing.T) {
+	// Through the real pipeline: stub engine technique maps to Unknown,
+	// so the profile still builds with the Unknown stage.
+	sim := simtime.New(1)
+	s, err := New(sim, Config{Name: "intent", Engine: stubFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Ingest(attackPkt(5))
+	sim.Run()
+	profiles := s.Monitor().IntentReport()
+	if len(profiles) != 1 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	if profiles[0].Stage != IntentUnknown {
+		t.Fatalf("stub technique mapped to %v", profiles[0].Stage)
+	}
+}

@@ -1,0 +1,191 @@
+package ids
+
+import (
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// SensorState is a sensor's operational state.
+type SensorState int
+
+// Sensor states.
+const (
+	SensorUp SensorState = iota
+	SensorFailed
+)
+
+// String names the state.
+func (s SensorState) String() string {
+	if s == SensorFailed {
+		return "failed"
+	}
+	return "up"
+}
+
+// Sensor is the sensing subprocess: it runs a detection engine over its
+// share of traffic with a finite processing budget. Overload first drops
+// packets (the zero-loss-throughput boundary) and, sustained past the
+// lethal rate, kills the sensor (the network-lethal-dose boundary).
+type Sensor struct {
+	sim    *simtime.Sim
+	id     int
+	engine detect.Engine
+
+	queueDepth int
+	queueLimit int
+	busyUntil  simtime.Time
+
+	state        SensorState
+	failureMode  FailureMode
+	lethalRate   int // drops/sec that kill the sensor; 0 = indestructible
+	restartAfter time.Duration
+
+	// drop-rate tracking (tumbling 1s window)
+	dropWindowStart simtime.Time
+	dropsThisWindow int
+
+	// SpeedFactor scales processing speed (see Config.SensorSpeedFactor).
+	SpeedFactor float64
+
+	// deliver forwards alerts toward the analyzer.
+	deliver func(alerts []detect.Alert)
+	// onStateChange reports failure (false) and recovery (true) to the
+	// owning IDS for self-health reporting.
+	onStateChange func(recovered bool)
+
+	// Counters.
+	Processed uint64
+	Dropped   uint64
+	Failures  int
+	// FailedDuration accumulates downtime.
+	FailedDuration time.Duration
+	failedAt       simtime.Time
+	// BusyTime accumulates engine processing time for utilization and
+	// host-impact accounting.
+	BusyTime time.Duration
+}
+
+// NewSensor builds one sensor.
+func NewSensor(sim *simtime.Sim, id int, engine detect.Engine, queueLimit int, mode FailureMode, lethalRate int, restartAfter time.Duration) *Sensor {
+	return &Sensor{
+		sim: sim, id: id, engine: engine,
+		queueLimit: queueLimit, failureMode: mode,
+		lethalRate: lethalRate, restartAfter: restartAfter,
+	}
+}
+
+// ID returns the sensor's index.
+func (s *Sensor) ID() int { return s.id }
+
+// Engine exposes the sensor's detection engine.
+func (s *Sensor) Engine() detect.Engine { return s.engine }
+
+// State returns the operational state.
+func (s *Sensor) State() SensorState { return s.state }
+
+// QueueDepth returns pending packets (the dynamic balancer's load signal).
+func (s *Sensor) QueueDepth() int { return s.queueDepth }
+
+// PassVerdict reports whether an in-line deployment should keep
+// forwarding traffic given this sensor's state: false only for a
+// fail-closed sensor that is down.
+func (s *Sensor) PassVerdict() bool {
+	return !(s.state == SensorFailed && s.failureMode == FailClosed)
+}
+
+// Offer hands the sensor one packet.
+func (s *Sensor) Offer(p *packet.Packet) {
+	now := s.sim.Now()
+	if s.state == SensorFailed {
+		// A failed sensor inspects nothing. Fail-open silently misses;
+		// the drop counter records the blindness either way.
+		s.Dropped++
+		return
+	}
+	if s.queueDepth >= s.queueLimit {
+		s.Dropped++
+		s.noteDrop(now)
+		return
+	}
+	cost := s.engine.CostPerPacket(p)
+	if s.SpeedFactor > 0 && s.SpeedFactor != 1 {
+		cost = time.Duration(float64(cost) / s.SpeedFactor)
+	}
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + cost
+	s.queueDepth++
+	s.BusyTime += cost
+	done := s.busyUntil
+	s.sim.MustSchedule(done-now, func() {
+		s.queueDepth--
+		if s.state == SensorFailed {
+			return
+		}
+		s.Processed++
+		alerts := s.engine.Inspect(p, s.sim.Now())
+		if len(alerts) > 0 && s.deliver != nil {
+			s.deliver(alerts)
+		}
+	})
+}
+
+// noteDrop tracks the drop rate and triggers lethal-dose failure.
+func (s *Sensor) noteDrop(now simtime.Time) {
+	if s.lethalRate <= 0 {
+		return
+	}
+	if now-s.dropWindowStart > time.Second {
+		s.dropWindowStart = now
+		s.dropsThisWindow = 0
+	}
+	s.dropsThisWindow++
+	if s.dropsThisWindow >= s.lethalRate {
+		s.fail(now)
+	}
+}
+
+// fail transitions the sensor to the failed state and arms restart.
+func (s *Sensor) fail(now simtime.Time) {
+	if s.state == SensorFailed {
+		return
+	}
+	s.state = SensorFailed
+	s.Failures++
+	s.failedAt = now
+	if s.onStateChange != nil {
+		s.onStateChange(false)
+	}
+	if s.restartAfter > 0 {
+		s.sim.MustSchedule(s.restartAfter, s.restart)
+	}
+}
+
+// restart revives a failed sensor ("fatal errors cause restart of
+// application(s) or service(s)" — the metric's high-score anchor).
+func (s *Sensor) restart() {
+	if s.state != SensorFailed {
+		return
+	}
+	s.FailedDuration += s.sim.Now() - s.failedAt
+	s.state = SensorUp
+	s.dropsThisWindow = 0
+	s.dropWindowStart = s.sim.Now()
+	if s.onStateChange != nil {
+		s.onStateChange(true)
+	}
+}
+
+// Downtime returns accumulated failed time, including an ongoing outage.
+func (s *Sensor) Downtime() time.Duration {
+	d := s.FailedDuration
+	if s.state == SensorFailed {
+		d += s.sim.Now() - s.failedAt
+	}
+	return d
+}

@@ -1,0 +1,483 @@
+// Package netsim is the network substrate of the IDS evaluation testbed:
+// hosts, duplex links with finite bandwidth and buffering, learning-free
+// switches with SPAN (port-mirroring) support, a border router, and
+// generic in-line devices. All behaviour is driven by the simtime kernel,
+// so every latency, queue drop, and delivery is deterministic and
+// observable — which is exactly what the paper's performance metrics
+// (induced traffic latency, maximal throughput with zero loss, network
+// lethal dose) need to be measured against.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// Endpoint is anything a link can deliver packets to.
+type Endpoint interface {
+	// Receive handles a packet arriving over the given link.
+	Receive(p *packet.Packet, from *Link)
+	// Name identifies the endpoint in diagnostics.
+	Name() string
+}
+
+// LinkStats counts traffic over one direction of a link.
+type LinkStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// linkDir is the transmission state for one direction of a duplex link.
+type linkDir struct {
+	to        Endpoint
+	busyUntil simtime.Time
+	queued    int // bytes committed to the queue but not yet serialized
+	stats     LinkStats
+}
+
+// Link is a full-duplex point-to-point link with finite bandwidth, a
+// propagation delay, and a bounded per-direction transmit buffer. Packets
+// that would overflow the buffer are dropped — this is the mechanism
+// behind every loss-based metric in the harness.
+type Link struct {
+	sim *simtime.Sim
+	// BandwidthBps is the serialization rate in bits per second.
+	BandwidthBps float64
+	// Propagation is the one-way signal delay.
+	Propagation time.Duration
+	// BufferBytes bounds the per-direction transmit queue.
+	BufferBytes int
+	name        string
+	a, b        *linkDir
+}
+
+// LinkConfig parameterizes NewLink.
+type LinkConfig struct {
+	Name         string
+	BandwidthBps float64       // default 1 Gb/s
+	Propagation  time.Duration // default 50µs
+	BufferBytes  int           // default 256 KiB
+}
+
+// NewLink connects endpoints a and b. Either may be nil and attached later
+// with AttachA/AttachB.
+func NewLink(sim *simtime.Sim, a, b Endpoint, cfg LinkConfig) *Link {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = 1e9
+	}
+	if cfg.Propagation <= 0 {
+		cfg.Propagation = 50 * time.Microsecond
+	}
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 256 << 10
+	}
+	if cfg.Name == "" {
+		cfg.Name = "link"
+	}
+	return &Link{
+		sim:          sim,
+		BandwidthBps: cfg.BandwidthBps,
+		Propagation:  cfg.Propagation,
+		BufferBytes:  cfg.BufferBytes,
+		name:         cfg.Name,
+		a:            &linkDir{to: a},
+		b:            &linkDir{to: b},
+	}
+}
+
+// AttachA sets the endpoint on the A side.
+func (l *Link) AttachA(e Endpoint) { l.a.to = e }
+
+// AttachB sets the endpoint on the B side.
+func (l *Link) AttachB(e Endpoint) { l.b.to = e }
+
+// A returns the endpoint on the A side.
+func (l *Link) A() Endpoint { return l.a.to }
+
+// B returns the endpoint on the B side.
+func (l *Link) B() Endpoint { return l.b.to }
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// dirFrom resolves which direction a transmission from the given endpoint
+// uses. Sending from A delivers to B and vice versa.
+func (l *Link) dirFrom(from Endpoint) (*linkDir, error) {
+	switch from {
+	case l.a.to:
+		return l.b, nil
+	case l.b.to:
+		return l.a, nil
+	default:
+		return nil, fmt.Errorf("netsim: endpoint %q not attached to link %q", from.Name(), l.name)
+	}
+}
+
+// Send transmits p from the given attached endpoint toward the other side.
+// It reports whether the packet was accepted (false means a buffer drop).
+func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
+	dir, err := l.dirFrom(from)
+	if err != nil {
+		panic(err) // topology wiring bug, not a runtime condition
+	}
+	dir.stats.Sent++
+	size := p.WireLen()
+	if dir.queued+size > l.BufferBytes {
+		dir.stats.Dropped++
+		return false
+	}
+	dir.queued += size
+	now := l.sim.Now()
+	start := now
+	if dir.busyUntil > start {
+		start = dir.busyUntil
+	}
+	serialize := time.Duration(float64(size*8) / l.BandwidthBps * float64(time.Second))
+	dir.busyUntil = start + serialize
+	arrival := dir.busyUntil + l.Propagation
+	l.sim.MustSchedule(arrival-now, func() {
+		dir.queued -= size
+		dir.stats.Delivered++
+		dir.stats.Bytes += uint64(size)
+		if dir.to != nil {
+			dir.to.Receive(p, l)
+		}
+	})
+	return true
+}
+
+// StatsToward returns the counters for the direction delivering to e.
+func (l *Link) StatsToward(e Endpoint) LinkStats {
+	if l.a.to == e {
+		return l.a.stats
+	}
+	if l.b.to == e {
+		return l.b.stats
+	}
+	return LinkStats{}
+}
+
+// Host is a leaf node with an address and an application-level packet
+// handler. A host attaches to exactly one link (its NIC).
+type Host struct {
+	sim  *simtime.Sim
+	addr packet.Addr
+	name string
+	link *Link
+	// OnPacket, if set, handles every packet delivered to the host.
+	OnPacket func(p *packet.Packet)
+	// Received counts delivered packets.
+	Received uint64
+	// SendFailed counts packets refused at the local link buffer.
+	SendFailed uint64
+}
+
+// NewHost creates a host. Attach it to a link before sending.
+func NewHost(sim *simtime.Sim, name string, addr packet.Addr) *Host {
+	return &Host{sim: sim, addr: addr, name: name}
+}
+
+// Name implements Endpoint.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's address.
+func (h *Host) Addr() packet.Addr { return h.addr }
+
+// SetLink attaches the host's NIC.
+func (h *Host) SetLink(l *Link) { h.link = l }
+
+// Send transmits a packet from this host, stamping Sent time and source
+// address if unset. It reports whether the local link accepted it.
+func (h *Host) Send(p *packet.Packet) bool {
+	if h.link == nil {
+		panic(fmt.Sprintf("netsim: host %q has no link", h.name))
+	}
+	if p.Src == 0 {
+		p.Src = h.addr
+	}
+	p.Sent = h.sim.Now()
+	if p.TTL == 0 {
+		p.TTL = 64
+	}
+	ok := h.link.Send(h, p)
+	if !ok {
+		h.SendFailed++
+	}
+	return ok
+}
+
+// Receive implements Endpoint.
+func (h *Host) Receive(p *packet.Packet, _ *Link) {
+	h.Received++
+	if h.OnPacket != nil {
+		h.OnPacket(p)
+	}
+}
+
+// Switch is an output-queued switch with a static forwarding table and
+// optional SPAN mirroring. Every forwarded packet is also copied to the
+// mirror link, if one is configured — the standard way a passive network
+// IDS taps traffic (Section 2.2: "all traffic may be mirrored to it").
+type Switch struct {
+	sim        *simtime.Sim
+	name       string
+	table      map[packet.Addr]*Link
+	uplink     *Link // default route for unknown destinations
+	mirror     *Link
+	latency    time.Duration
+	Forwarded  uint64
+	NoRoute    uint64
+	MirrorSent uint64
+}
+
+// NewSwitch creates a switch with the given internal forwarding latency
+// (zero means an idealized cut-through switch).
+func NewSwitch(sim *simtime.Sim, name string, latency time.Duration) *Switch {
+	return &Switch{
+		sim:     sim,
+		name:    name,
+		table:   make(map[packet.Addr]*Link),
+		latency: latency,
+	}
+}
+
+// Name implements Endpoint.
+func (s *Switch) Name() string { return s.name }
+
+// Connect wires a host to the switch over a new link and registers the
+// forwarding entry.
+func (s *Switch) Connect(h *Host, cfg LinkConfig) *Link {
+	if cfg.Name == "" {
+		cfg.Name = s.name + "<->" + h.Name()
+	}
+	l := NewLink(s.sim, s, h, cfg)
+	h.SetLink(l)
+	s.table[h.Addr()] = l
+	return l
+}
+
+// AddRoute registers an explicit forwarding entry for addr via l.
+func (s *Switch) AddRoute(addr packet.Addr, l *Link) { s.table[addr] = l }
+
+// SetUplink sets the default route used when no table entry matches.
+func (s *Switch) SetUplink(l *Link) { s.uplink = l }
+
+// SetMirror designates a link to receive a copy of all forwarded traffic.
+func (s *Switch) SetMirror(l *Link) { s.mirror = l }
+
+// Receive implements Endpoint: forward by destination address, mirroring a
+// copy if a SPAN port is configured.
+func (s *Switch) Receive(p *packet.Packet, from *Link) {
+	forward := func() {
+		out, ok := s.table[p.Dst]
+		if !ok {
+			out = s.uplink
+		}
+		if out == nil || out == from {
+			s.NoRoute++
+			return
+		}
+		s.Forwarded++
+		out.Send(s, p)
+		if s.mirror != nil && s.mirror != from {
+			s.MirrorSent++
+			// The mirror port serializes its own copy and may drop under
+			// load — exactly how a saturated SPAN port starves a passive
+			// sensor.
+			s.mirror.Send(s, p)
+		}
+	}
+	if s.latency > 0 {
+		s.sim.MustSchedule(s.latency, forward)
+	} else {
+		forward()
+	}
+}
+
+// Router forwards between prefixes. The testbed uses it as the border
+// router between the "Internet" side (traffic sources, attackers) and the
+// protected LAN.
+type Router struct {
+	sim       *simtime.Sim
+	name      string
+	routes    []route
+	def       *Link
+	latency   time.Duration
+	Forwarded uint64
+	TTLDrops  uint64
+	NoRoute   uint64
+}
+
+type route struct {
+	prefix packet.Addr
+	mask   packet.Addr
+	link   *Link
+}
+
+// NewRouter creates a router with the given per-packet forwarding latency.
+func NewRouter(sim *simtime.Sim, name string, latency time.Duration) *Router {
+	return &Router{sim: sim, name: name, latency: latency}
+}
+
+// Name implements Endpoint.
+func (r *Router) Name() string { return r.name }
+
+// AddRoute forwards destinations matching prefix/maskBits via l. Longer
+// prefixes win.
+func (r *Router) AddRoute(prefix packet.Addr, maskBits int, l *Link) {
+	var mask packet.Addr
+	if maskBits > 0 {
+		mask = ^packet.Addr(0) << (32 - maskBits)
+	}
+	r.routes = append(r.routes, route{prefix: prefix & mask, mask: mask, link: l})
+	// Keep longest-prefix first.
+	for i := len(r.routes) - 1; i > 0; i-- {
+		if r.routes[i].mask > r.routes[i-1].mask {
+			r.routes[i], r.routes[i-1] = r.routes[i-1], r.routes[i]
+		}
+	}
+}
+
+// SetDefault sets the default route.
+func (r *Router) SetDefault(l *Link) { r.def = l }
+
+// Receive implements Endpoint.
+func (r *Router) Receive(p *packet.Packet, from *Link) {
+	forward := func() {
+		if p.TTL <= 1 {
+			r.TTLDrops++
+			return
+		}
+		q := *p // headers copied; payload shared read-only
+		q.TTL--
+		out := r.def
+		for _, rt := range r.routes {
+			if q.Dst&rt.mask == rt.prefix {
+				out = rt.link
+				break
+			}
+		}
+		if out == nil || out == from {
+			r.NoRoute++
+			return
+		}
+		r.Forwarded++
+		out.Send(r, &q)
+	}
+	if r.latency > 0 {
+		r.sim.MustSchedule(r.latency, forward)
+	} else {
+		forward()
+	}
+}
+
+// InlineDevice sits in the forwarding path between two links, imposing a
+// per-packet processing delay and an optional processing-capacity bound.
+// It is the substrate for in-line load balancers and in-line IDS sensors,
+// whose induced latency and loss the paper's metrics measure directly.
+type InlineDevice struct {
+	sim  *simtime.Sim
+	name string
+	// PerPacket is the fixed processing cost per packet.
+	PerPacket time.Duration
+	// CapacityPps bounds sustainable packets/sec (0 = unbounded). Beyond
+	// capacity the device queues up to QueueLimit packets, then drops.
+	CapacityPps float64
+	QueueLimit  int
+
+	left, right *Link
+	busyUntil   simtime.Time
+	queueDepth  int
+	// Process, if set, inspects every packet (the hook in-line sensors
+	// use). Returning false drops the packet (traffic filtering).
+	Process func(p *packet.Packet) bool
+
+	Forwarded uint64
+	Dropped   uint64
+	Filtered  uint64
+}
+
+// NewInlineDevice creates an in-line element. Wire it with SetLinks.
+func NewInlineDevice(sim *simtime.Sim, name string, perPacket time.Duration) *InlineDevice {
+	return &InlineDevice{sim: sim, name: name, PerPacket: perPacket, QueueLimit: 4096}
+}
+
+// Name implements Endpoint.
+func (d *InlineDevice) Name() string { return d.name }
+
+// SetLinks attaches the two sides of the device.
+func (d *InlineDevice) SetLinks(left, right *Link) {
+	d.left = left
+	d.right = right
+}
+
+// Receive implements Endpoint: apply processing delay/capacity, run the
+// Process hook, and forward out the other side.
+func (d *InlineDevice) Receive(p *packet.Packet, from *Link) {
+	now := d.sim.Now()
+	cost := d.PerPacket
+	if d.CapacityPps > 0 {
+		svc := time.Duration(float64(time.Second) / d.CapacityPps)
+		if svc > cost {
+			cost = svc
+		}
+	}
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	// Queue-depth accounting: packets waiting for the processor.
+	if d.queueDepth >= d.QueueLimit {
+		d.Dropped++
+		return
+	}
+	d.queueDepth++
+	d.busyUntil = start + cost
+	d.sim.MustSchedule(d.busyUntil-now, func() {
+		d.queueDepth--
+		if d.Process != nil && !d.Process(p) {
+			d.Filtered++
+			return
+		}
+		out := d.right
+		if from == d.right {
+			out = d.left
+		}
+		if out == nil {
+			d.Dropped++
+			return
+		}
+		d.Forwarded++
+		out.Send(d, p)
+	})
+}
+
+// Sink is an endpoint that counts and optionally inspects packets without
+// forwarding them. Passive (mirror-fed) sensors are Sinks.
+type Sink struct {
+	name string
+	// OnPacket, if set, observes each delivered packet.
+	OnPacket func(p *packet.Packet)
+	Count    uint64
+	Bytes    uint64
+}
+
+// NewSink creates a counting sink.
+func NewSink(name string) *Sink { return &Sink{name: name} }
+
+// Name implements Endpoint.
+func (s *Sink) Name() string { return s.name }
+
+// Receive implements Endpoint.
+func (s *Sink) Receive(p *packet.Packet, _ *Link) {
+	s.Count++
+	s.Bytes += uint64(p.WireLen())
+	if s.OnPacket != nil {
+		s.OnPacket(p)
+	}
+}

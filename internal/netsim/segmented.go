@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// SegmentedTopology is the sensor-placement variant of the testbed: the
+// LAN is split across several leaf switches behind a distribution
+// switch, and each leaf carries its own SPAN port. This is the paper's
+// no-load-balancer deployment — "the load may be statically spread out
+// by placing sensors in separate subnets. Individual, statically placed
+// sensors may overload or starve, and the protection of the network will
+// be uneven."
+//
+//	ext hosts ── extSwitch ── borderRouter ── distSwitch ──┬── leaf0 ── hosts, mirror0
+//	                                                       ├── leaf1 ── hosts, mirror1
+//	                                                       └── ...
+type SegmentedTopology struct {
+	Sim      *simtime.Sim
+	Border   *Router
+	Ext      *Switch
+	Dist     *Switch
+	Leaves   []*Switch
+	External []*Host
+	// Cluster holds all hosts; Segment[i] holds leaf i's hosts.
+	Cluster []*Host
+	Segment [][]*Host
+}
+
+// SegmentedConfig parameterizes BuildSegmentedTopology.
+type SegmentedConfig struct {
+	// Subnets is the number of leaf switches (default 2).
+	Subnets int
+	// HostsPerSubnet (default 3).
+	HostsPerSubnet int
+	// ExternalHosts (default 2).
+	ExternalHosts int
+	// HostLink and BackboneLink as in TopologyConfig.
+	HostLink     LinkConfig
+	BackboneLink LinkConfig
+}
+
+// SegmentAddr returns the address of host h in subnet s: 10.1.(s+1).(h+1).
+func SegmentAddr(s, h int) packet.Addr {
+	return packet.IPv4(10, 1, byte(s+1), byte(h+1))
+}
+
+// BuildSegmentedTopology wires the placement testbed.
+func BuildSegmentedTopology(sim *simtime.Sim, cfg SegmentedConfig) *SegmentedTopology {
+	if cfg.Subnets <= 0 {
+		cfg.Subnets = 2
+	}
+	if cfg.HostsPerSubnet <= 0 {
+		cfg.HostsPerSubnet = 3
+	}
+	if cfg.ExternalHosts <= 0 {
+		cfg.ExternalHosts = 2
+	}
+	if cfg.BackboneLink.BandwidthBps <= 0 {
+		cfg.BackboneLink.BandwidthBps = 10e9
+	}
+	if cfg.BackboneLink.BufferBytes <= 0 {
+		cfg.BackboneLink.BufferBytes = 4 << 20
+	}
+
+	t := &SegmentedTopology{
+		Sim:    sim,
+		Border: NewRouter(sim, "border-router", 20*time.Microsecond),
+		Ext:    NewSwitch(sim, "ext-switch", 5*time.Microsecond),
+		Dist:   NewSwitch(sim, "dist-switch", 5*time.Microsecond),
+	}
+	extTrunk := cfg.BackboneLink
+	extTrunk.Name = "ext-trunk"
+	extLink := NewLink(sim, t.Ext, t.Border, extTrunk)
+	t.Ext.SetUplink(extLink)
+
+	distTrunk := cfg.BackboneLink
+	distTrunk.Name = "dist-trunk"
+	distLink := NewLink(sim, t.Border, t.Dist, distTrunk)
+	t.Dist.SetUplink(distLink)
+	t.Border.AddRoute(packet.IPv4(10, 1, 0, 0), 16, distLink)
+	t.Border.AddRoute(packet.IPv4(203, 0, 0, 0), 16, extLink)
+
+	for s := 0; s < cfg.Subnets; s++ {
+		leaf := NewSwitch(sim, fmt.Sprintf("leaf%02d", s), 5*time.Microsecond)
+		leafTrunk := cfg.BackboneLink
+		leafTrunk.Name = fmt.Sprintf("leaf%02d-trunk", s)
+		up := NewLink(sim, t.Dist, leaf, leafTrunk)
+		leaf.SetUplink(up)
+		var segment []*Host
+		for h := 0; h < cfg.HostsPerSubnet; h++ {
+			host := NewHost(sim, fmt.Sprintf("s%02dn%02d", s, h), SegmentAddr(s, h))
+			leaf.Connect(host, cfg.HostLink)
+			// The distribution switch routes the whole /24 via the leaf.
+			t.Dist.AddRoute(host.Addr(), up)
+			segment = append(segment, host)
+			t.Cluster = append(t.Cluster, host)
+		}
+		t.Leaves = append(t.Leaves, leaf)
+		t.Segment = append(t.Segment, segment)
+	}
+	for i := 0; i < cfg.ExternalHosts; i++ {
+		h := NewHost(sim, fmt.Sprintf("ext%02d", i), ExternalAddr(i))
+		t.Ext.Connect(h, cfg.HostLink)
+		t.External = append(t.External, h)
+	}
+	return t
+}
+
+// AttachLeafMirror connects a passive sink to leaf i's SPAN port.
+func (t *SegmentedTopology) AttachLeafMirror(i int, sink Endpoint, cfg LinkConfig) (*Link, error) {
+	if i < 0 || i >= len(t.Leaves) {
+		return nil, fmt.Errorf("netsim: no leaf %d", i)
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("span-leaf%02d", i)
+	}
+	l := NewLink(t.Sim, t.Leaves[i], sink, cfg)
+	t.Leaves[i].SetMirror(l)
+	return l, nil
+}
+
+// AttachDistMirror connects a sink to the distribution switch's SPAN —
+// the single-central-sensor placement.
+func (t *SegmentedTopology) AttachDistMirror(sink Endpoint, cfg LinkConfig) *Link {
+	if cfg.Name == "" {
+		cfg.Name = "span-dist"
+	}
+	l := NewLink(t.Sim, t.Dist, sink, cfg)
+	t.Dist.SetMirror(l)
+	return l
+}

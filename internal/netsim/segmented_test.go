@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+func TestSegmentedTopologyRouting(t *testing.T) {
+	sim := simtime.New(1)
+	top := BuildSegmentedTopology(sim, SegmentedConfig{Subnets: 3, HostsPerSubnet: 2, ExternalHosts: 1})
+	if len(top.Cluster) != 6 || len(top.Leaves) != 3 {
+		t.Fatalf("topology sizes: %d hosts, %d leaves", len(top.Cluster), len(top.Leaves))
+	}
+	// North-south reaches every subnet.
+	for s := 0; s < 3; s++ {
+		dst := top.Segment[s][0]
+		top.External[0].Send(pkt(top.External[0].Addr(), dst.Addr(), 64))
+	}
+	sim.Run()
+	for s := 0; s < 3; s++ {
+		if top.Segment[s][0].Received != 1 {
+			t.Fatalf("subnet %d unreachable", s)
+		}
+	}
+}
+
+func TestSegmentedCrossSubnetTraffic(t *testing.T) {
+	sim := simtime.New(1)
+	top := BuildSegmentedTopology(sim, SegmentedConfig{Subnets: 2, HostsPerSubnet: 2, ExternalHosts: 1})
+	src := top.Segment[0][0]
+	dst := top.Segment[1][1]
+	src.Send(pkt(src.Addr(), dst.Addr(), 64))
+	sim.Run()
+	if dst.Received != 1 {
+		t.Fatal("cross-subnet traffic lost")
+	}
+	// Cross-subnet stays below the border router.
+	if top.Border.Forwarded != 0 {
+		t.Fatal("east-west crossed the border router")
+	}
+}
+
+func TestLeafMirrorsSeeOnlyTheirSubnet(t *testing.T) {
+	sim := simtime.New(1)
+	top := BuildSegmentedTopology(sim, SegmentedConfig{Subnets: 2, HostsPerSubnet: 2, ExternalHosts: 1})
+	sink0 := NewSink("sensor0")
+	sink1 := NewSink("sensor1")
+	if _, err := top.AttachLeafMirror(0, sink0, LinkConfig{BandwidthBps: 10e9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.AttachLeafMirror(1, sink1, LinkConfig{BandwidthBps: 10e9}); err != nil {
+		t.Fatal(err)
+	}
+	// Intra-subnet-0 traffic: only sensor0 sees it.
+	a, b := top.Segment[0][0], top.Segment[0][1]
+	a.Send(pkt(a.Addr(), b.Addr(), 64))
+	sim.Run()
+	if sink0.Count == 0 {
+		t.Fatal("sensor0 blind to its own subnet")
+	}
+	if sink1.Count != 0 {
+		t.Fatal("sensor1 saw another subnet's intra-switch traffic")
+	}
+}
+
+func TestStaticPlacementIsUneven(t *testing.T) {
+	// The paper: "Individual, statically placed sensors may overload or
+	// starve, and the protection of the network will be uneven." Load all
+	// traffic at subnet 0: its sensor's slow SPAN drops while subnet 1's
+	// sensor starves.
+	sim := simtime.New(1)
+	top := BuildSegmentedTopology(sim, SegmentedConfig{Subnets: 2, HostsPerSubnet: 2, ExternalHosts: 1})
+	sink0 := NewSink("sensor0")
+	sink1 := NewSink("sensor1")
+	span0, err := top.AttachLeafMirror(0, sink0, LinkConfig{BandwidthBps: 2e6, BufferBytes: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.AttachLeafMirror(1, sink1, LinkConfig{BandwidthBps: 2e6, BufferBytes: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := top.Segment[0][0], top.Segment[0][1]
+	for i := 0; i < 300; i++ {
+		i := i
+		sim.MustSchedule(time.Duration(i)*100*time.Microsecond, func() {
+			a.Send(pkt(a.Addr(), b.Addr(), 1000))
+		})
+	}
+	sim.Run()
+	if st := span0.StatsToward(sink0); st.Dropped == 0 {
+		t.Fatal("hot subnet's sensor did not overload")
+	}
+	if sink1.Count != 0 {
+		t.Fatal("cold subnet's sensor did not starve")
+	}
+	// Production traffic is unaffected by sensor overload.
+	if b.Received != 300 {
+		t.Fatalf("production delivery %d/300", b.Received)
+	}
+}
+
+func TestDistMirrorSeesCrossSubnetOnly(t *testing.T) {
+	sim := simtime.New(1)
+	top := BuildSegmentedTopology(sim, SegmentedConfig{Subnets: 2, HostsPerSubnet: 2, ExternalHosts: 1})
+	central := NewSink("central")
+	top.AttachDistMirror(central, LinkConfig{BandwidthBps: 10e9})
+
+	// Intra-leaf traffic never reaches the distribution switch: the
+	// central sensor placement has a structural blind spot.
+	a, b := top.Segment[0][0], top.Segment[0][1]
+	a.Send(pkt(a.Addr(), b.Addr(), 64))
+	sim.Run()
+	if central.Count != 0 {
+		t.Fatal("central SPAN saw intra-leaf traffic")
+	}
+	// Cross-subnet traffic does transit it.
+	c := top.Segment[1][0]
+	a.Send(pkt(a.Addr(), c.Addr(), 64))
+	sim.Run()
+	if central.Count == 0 {
+		t.Fatal("central SPAN blind to cross-subnet traffic")
+	}
+}
+
+func TestAttachLeafMirrorValidation(t *testing.T) {
+	sim := simtime.New(1)
+	top := BuildSegmentedTopology(sim, SegmentedConfig{})
+	if _, err := top.AttachLeafMirror(9, NewSink("x"), LinkConfig{}); err == nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+}
+
+func TestSegmentAddrStable(t *testing.T) {
+	if SegmentAddr(0, 0) != packet.IPv4(10, 1, 1, 1) || SegmentAddr(2, 4) != packet.IPv4(10, 1, 3, 5) {
+		t.Fatal("segment addressing scheme changed")
+	}
+}

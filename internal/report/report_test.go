@@ -1,0 +1,272 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/ids"
+	"repro/internal/packet"
+)
+
+func TestMetricTableRendersTable1(t *testing.T) {
+	reg := core.StandardRegistry()
+	var buf bytes.Buffer
+	if err := MetricTable(&buf, reg, core.Logistical, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"Distributed Management", "Ease of Configuration", "Ease of Policy Maintenance",
+		"License Management", "Outsourced Solution", "Platform Requirements",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %q:\n%s", name, out)
+		}
+	}
+	// Untabled metrics are excluded without full.
+	if strings.Contains(out, "Product Lifetime") {
+		t.Fatal("untabled metric leaked into Table 1")
+	}
+	buf.Reset()
+	if err := MetricTable(&buf, reg, core.Logistical, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Product Lifetime") {
+		t.Fatal("full table missing untabled metric")
+	}
+}
+
+func TestMetricTableRendersTables2And3(t *testing.T) {
+	reg := core.StandardRegistry()
+	var buf bytes.Buffer
+	if err := MetricTable(&buf, reg, core.Architectural, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Scalable Load-balancing") {
+		t.Fatal("Table 2 missing load-balancing metric")
+	}
+	buf.Reset()
+	if err := MetricTable(&buf, reg, core.Performance, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Network Lethal Dose", "Timeliness", "Observed False Negative Ratio"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("Table 3 missing %q", name)
+		}
+	}
+}
+
+func miniCards(t *testing.T) (*core.Registry, []*core.Scorecard) {
+	t.Helper()
+	reg := core.StandardRegistry()
+	mk := func(name string, base core.Score) *core.Scorecard {
+		c := core.NewScorecard(reg, name, "1.0")
+		for i, m := range reg.All() {
+			s := core.Score((int(base) + i) % 5)
+			if err := c.Set(core.Observation{MetricID: m.ID, Score: s}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	return reg, []*core.Scorecard{mk("Alpha", 0), mk("Beta", 2)}
+}
+
+func TestScoreMatrix(t *testing.T) {
+	reg, cards := miniCards(t)
+	var buf bytes.Buffer
+	if err := ScoreMatrix(&buf, reg, core.Performance, cards, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Alpha") || !strings.Contains(out, "Beta") {
+		t.Fatal("product columns missing")
+	}
+	if !strings.Contains(out, "(unweighted sum)") {
+		t.Fatal("sum row missing")
+	}
+}
+
+func TestRanking(t *testing.T) {
+	reg, cards := miniCards(t)
+	ranked, err := core.Rank(cards, core.Uniform(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Ranking(&buf, ranked); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "S1 (logistical)") || !strings.Contains(out, "Total") {
+		t.Fatalf("ranking header wrong:\n%s", out)
+	}
+	// Best first: Beta has uniformly higher scores.
+	if strings.Index(out, "Beta") > strings.Index(out, "Alpha") {
+		t.Fatal("ranking not best-first")
+	}
+}
+
+func sampleSweep() *eval.SweepResult {
+	return &eval.SweepResult{
+		Product: "X",
+		Points: []eval.SweepPoint{
+			{Sensitivity: 0, TypeI: 0.1, TypeII: 70},
+			{Sensitivity: 0.5, TypeI: 1.5, TypeII: 20},
+			{Sensitivity: 1, TypeI: 6, TypeII: 2},
+		},
+		EER: 0.9, EERError: 4, EERValid: true,
+	}
+}
+
+func TestErrorCurves(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ErrorCurves(&buf, sampleSweep()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Equal Error Rate: sensitivity 0.90") {
+		t.Fatalf("EER missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1=Type I") || !strings.Contains(out, "2=Type II") {
+		t.Fatal("plot legend missing")
+	}
+	// The plot must contain both curve glyphs.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Fatal("curve glyphs missing")
+	}
+	// No-crossover case renders the alternative note.
+	flat := &eval.SweepResult{Product: "Y", Points: []eval.SweepPoint{
+		{Sensitivity: 0, TypeI: 1, TypeII: 50}, {Sensitivity: 1, TypeI: 2, TypeII: 40},
+	}}
+	buf.Reset()
+	if err := ErrorCurves(&buf, flat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No Type I / Type II crossover") {
+		t.Fatal("no-crossover note missing")
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SweepCSV(&buf, sampleSweep()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines, want header + 3", len(lines))
+	}
+	if lines[0] != "sensitivity,type1_fp_pct,type2_fn_pct" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestAccuracySummary(t *testing.T) {
+	r := &eval.AccuracyResult{
+		Product: "X", Transactions: 100, ActualIncidents: 7, DetectedIncidents: 5,
+		FalseAlarms: 2, FalsePositiveRatio: 0.02, FalseNegativeRatio: 0.02,
+		MissRate: 2.0 / 7.0, DetectionRate: 5.0 / 7.0,
+		MeanDetectionDelay: 300 * time.Millisecond,
+		MaxDetectionDelay:  time.Second,
+		ByTechnique:        map[string]bool{"portscan": true, "dns-tunnel": false},
+	}
+	var buf bytes.Buffer
+	if err := AccuracySummary(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|D-A|/|T|") || !strings.Contains(out, "|A-D|/|T|") {
+		t.Fatal("Figure-3 ratio labels missing")
+	}
+	if !strings.Contains(out, "portscan") || !strings.Contains(out, "missed") {
+		t.Fatal("technique rows missing")
+	}
+}
+
+func TestWrap(t *testing.T) {
+	lines := wrap("a bb ccc dddd", 5)
+	for _, l := range lines {
+		if len(l) > 5 && !strings.Contains(l, " ") {
+			continue // single word longer than width is allowed
+		}
+		if len(l) > 5 {
+			t.Fatalf("line %q exceeds width", l)
+		}
+	}
+	if got := wrap("", 10); len(got) != 1 || got[0] != "" {
+		t.Fatalf("wrap empty = %v", got)
+	}
+}
+
+func TestIntentProfilesRender(t *testing.T) {
+	profiles := []*ids.AttackerProfile{
+		{
+			Attacker: packet.IPv4(203, 0, 1, 1), Stage: ids.IntentExfiltration,
+			Victims: 2, Incidents: 3,
+			Intents: map[ids.Intent]int{ids.IntentReconnaissance: 1, ids.IntentExfiltration: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := IntentProfiles(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "exfiltration") || !strings.Contains(out, "203.0.1.1") {
+		t.Fatalf("intent table missing content:\n%s", out)
+	}
+	buf.Reset()
+	if err := IntentProfiles(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no attributed attackers") {
+		t.Fatal("empty-profile message missing")
+	}
+}
+
+func TestEvaluationReport(t *testing.T) {
+	reg := core.StandardRegistry()
+	spec := struct {
+		Name, Version, Summary string
+	}{"TestProd", "1.0", "test product"}
+	_ = spec
+	// Build a ProductEvaluation shell: EvaluationReport reads Spec + Card.
+	pe := &eval.ProductEvaluation{}
+	pe.Spec.Name = "TestProd"
+	pe.Spec.Version = "1.0"
+	pe.Spec.Summary = "a summary line"
+	card := core.NewScorecard(reg, "TestProd", "1.0")
+	for _, m := range reg.All() {
+		if err := card.Set(core.Observation{MetricID: m.ID, Score: 3, Note: "evidence for " + m.ID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pe.Card = card
+	var buf bytes.Buffer
+	if err := EvaluationReport(&buf, pe); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "TestProd 1.0") || !strings.Contains(out, "a summary line") {
+		t.Fatal("header missing")
+	}
+	for _, want := range []string{"Logistical metric", "Architectural metric", "Performance metric",
+		"Timeliness", "evidence for timeliness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// A partially-scored card renders dashes rather than failing.
+	pe.Card = core.NewScorecard(reg, "TestProd", "1.0")
+	buf.Reset()
+	if err := EvaluationReport(&buf, pe); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatal("unscored metrics not dashed")
+	}
+}

@@ -1,0 +1,228 @@
+package rts
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestTaskUtilization(t *testing.T) {
+	task := Task{Name: "t", Period: 10 * time.Millisecond, WCET: 3 * time.Millisecond}
+	if u := task.Utilization(); u < 0.299 || u > 0.301 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestHostValidation(t *testing.T) {
+	sim := simtime.New(1)
+	h := NewHost(sim, "n0")
+	if err := h.AddTask(Task{Name: "bad", Period: 0, WCET: time.Millisecond}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if err := h.SetOverhead("x", -0.1); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+	if err := h.SetOverhead("x", 1.0); err == nil {
+		t.Fatal("overhead 1.0 accepted")
+	}
+	if err := h.AddTask(Task{Name: "ok", Period: time.Second, WCET: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := h.AddTask(Task{Name: "late", Period: time.Second, WCET: time.Millisecond}); err == nil {
+		t.Fatal("AddTask after Start accepted")
+	}
+}
+
+func runHost(t *testing.T, overhead float64, dur time.Duration) *Host {
+	t.Helper()
+	sim := simtime.New(1)
+	h := NewHost(sim, "n0")
+	for _, task := range StandardTaskSet() {
+		if err := h.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if overhead > 0 {
+		if err := h.SetOverhead("ids", overhead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(dur)
+	h.Stop()
+	sim.Run()
+	return h
+}
+
+func TestNoMissesWithoutOverhead(t *testing.T) {
+	h := runHost(t, 0, 2*time.Second)
+	if h.JobsReleased == 0 {
+		t.Fatal("no jobs released")
+	}
+	if h.DeadlineMisses != 0 {
+		t.Fatalf("%d misses with zero overhead", h.DeadlineMisses)
+	}
+}
+
+func TestNominalLoggingAbsorbed(t *testing.T) {
+	// ~4% overhead (nominal logging): all deadlines still met.
+	h := runHost(t, 0.04, 2*time.Second)
+	if h.DeadlineMisses != 0 {
+		t.Fatalf("%d misses at 4%% overhead", h.DeadlineMisses)
+	}
+}
+
+func TestC2LoggingCausesMisses(t *testing.T) {
+	// ~20% overhead (C2 auditing): tight deadlines blow.
+	h := runHost(t, 0.20, 2*time.Second)
+	if h.DeadlineMisses == 0 {
+		t.Fatal("no misses at 20% overhead")
+	}
+	if h.MissRatio() <= 0 {
+		t.Fatal("miss ratio not positive")
+	}
+	if h.WorstLateness <= 0 {
+		t.Fatal("no lateness recorded")
+	}
+}
+
+func TestOverheadAccumulatesAcrossConsumers(t *testing.T) {
+	sim := simtime.New(1)
+	h := NewHost(sim, "n0")
+	h.SetOverhead("a", 0.1)
+	h.SetOverhead("b", 0.15)
+	if got := h.Overhead(); got < 0.249 || got > 0.251 {
+		t.Fatalf("Overhead() = %v", got)
+	}
+	// Replacing a consumer's value must not double count.
+	h.SetOverhead("a", 0.05)
+	if got := h.Overhead(); got < 0.199 || got > 0.201 {
+		t.Fatalf("Overhead() after update = %v", got)
+	}
+}
+
+func TestStandardTaskSetHeadroom(t *testing.T) {
+	var u float64
+	for _, task := range StandardTaskSet() {
+		u += task.Utilization()
+	}
+	if u < 0.5 || u > 0.85 {
+		t.Fatalf("standard utilization %v outside plausible band", u)
+	}
+}
+
+// Property: deadline misses are monotone in overhead.
+func TestPropertyMissesMonotoneInOverhead(t *testing.T) {
+	f := func(raw uint8) bool {
+		lo := float64(raw%50) / 100 // 0.00 .. 0.49
+		hi := lo + 0.3
+		a := runHostQuiet(lo)
+		b := runHostQuiet(hi)
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runHostQuiet(overhead float64) uint64 {
+	sim := simtime.New(1)
+	h := NewHost(sim, "n0")
+	for _, task := range StandardTaskSet() {
+		_ = h.AddTask(task)
+	}
+	_ = h.SetOverhead("ids", overhead)
+	_ = h.Start()
+	sim.RunUntil(time.Second)
+	h.Stop()
+	sim.Run()
+	return h.DeadlineMisses
+}
+
+func TestTrustGraphCompromiseScope(t *testing.T) {
+	g := NewTrustGraph()
+	// chain: c trusts b trusts a; d isolated.
+	g.AddTrust("b", "a")
+	g.AddTrust("c", "b")
+	g.AddNode("d")
+	got := g.CompromiseScope("a")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scope(a) = %v, want %v", got, want)
+	}
+	if got := g.CompromiseScope("c"); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("scope(c) = %v", got)
+	}
+	if got := g.CompromiseScope("missing"); got != nil {
+		t.Fatalf("scope of unknown node = %v", got)
+	}
+}
+
+func TestFullTrustClusterTotalExposure(t *testing.T) {
+	names := []string{"n0", "n1", "n2", "n3"}
+	g := FullTrustCluster(names)
+	for _, n := range names {
+		if got := g.CompromiseScope(n); len(got) != len(names) {
+			t.Fatalf("scope(%s) = %v, want all %d nodes", n, got, len(names))
+		}
+	}
+}
+
+// Property: compromise scope always contains the start node and is a
+// subset of all nodes.
+func TestPropertyCompromiseScope(t *testing.T) {
+	f := func(edges []uint8) bool {
+		g := NewTrustGraph()
+		names := []string{"a", "b", "c", "d", "e"}
+		for _, n := range names {
+			g.AddNode(n)
+		}
+		for _, e := range edges {
+			g.AddTrust(names[int(e)%5], names[int(e>>4)%5])
+		}
+		for _, n := range names {
+			scope := g.CompromiseScope(n)
+			if len(scope) == 0 || len(scope) > len(names) {
+				return false
+			}
+			found := false
+			for _, s := range scope {
+				if s == n {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHostSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := simtime.New(1)
+		h := NewHost(sim, "n0")
+		for _, task := range StandardTaskSet() {
+			_ = h.AddTask(task)
+		}
+		_ = h.Start()
+		sim.RunUntil(time.Second)
+		h.Stop()
+		sim.Run()
+	}
+}

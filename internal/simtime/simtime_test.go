@@ -1,0 +1,354 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 0} {
+		d := d
+		if _, err := s.Schedule(d*time.Millisecond, func() {
+			got = append(got, s.Now())
+		}); err != nil {
+			t.Fatalf("Schedule(%v): %v", d, err)
+		}
+	}
+	if n := s.Run(); n != 5 {
+		t.Fatalf("Run executed %d events, want 5", n)
+	}
+	want := []time.Duration{0, 10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEqualTimeEventsRunInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.MustSchedule(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; equal-time events must run FIFO", i, v)
+		}
+	}
+}
+
+func TestNegativeDelayRejected(t *testing.T) {
+	s := New(1)
+	if _, err := s.Schedule(-time.Nanosecond, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestScheduleAtPastRejected(t *testing.T) {
+	s := New(1)
+	s.MustSchedule(time.Second, func() {})
+	s.Run()
+	if _, err := s.ScheduleAt(500*time.Millisecond, func() {}); err == nil {
+		t.Fatal("past ScheduleAt accepted")
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	s := New(1)
+	if _, err := s.Schedule(0, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	id := s.MustSchedule(time.Second, func() { ran = true })
+	if !s.Cancel(id) {
+		t.Fatal("first Cancel reported false")
+	}
+	if s.Cancel(id) {
+		t.Fatal("second Cancel reported true")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	s := New(1)
+	s.MustSchedule(3*time.Second, func() {})
+	n := s.RunUntil(2 * time.Second)
+	if n != 0 {
+		t.Fatalf("executed %d events before deadline, want 0", n)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+	n = s.RunUntil(4 * time.Second)
+	if n != 1 {
+		t.Fatalf("executed %d events in second window, want 1", n)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 100; i++ {
+		s.MustSchedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 10 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events after Stop, want 10", count)
+	}
+	// Run may be resumed afterwards.
+	s.Run()
+	if count != 100 {
+		t.Fatalf("resume ran to %d, want 100", count)
+	}
+}
+
+func TestEventsScheduledDuringRunExecute(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.MustSchedule(time.Second, func() {
+		order = append(order, "a")
+		s.MustSchedule(time.Second, func() { order = append(order, "b") })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+}
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Stream("x").Int63() != b.Stream("x").Int63() {
+			t.Fatal("same seed and stream name diverged")
+		}
+	}
+	c := New(42)
+	d := New(42)
+	// Consuming from stream "y" must not perturb stream "x".
+	for i := 0; i < 50; i++ {
+		c.Stream("y").Int63()
+	}
+	for i := 0; i < 100; i++ {
+		if c.Stream("x").Int63() != d.Stream("x").Int63() {
+			t.Fatal("stream x perturbed by use of stream y")
+		}
+	}
+}
+
+func TestStreamDifferentNamesDiffer(t *testing.T) {
+	s := New(7)
+	same := true
+	for i := 0; i < 10; i++ {
+		if s.Stream("alpha").Int63() != s.Stream("beta").Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("streams alpha and beta produced identical sequences")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	tk, err := s.NewTicker(100*time.Millisecond, func() { ticks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(time.Second)
+	if ticks != 10 {
+		t.Fatalf("got %d ticks in 1s at 100ms period, want 10", ticks)
+	}
+	tk.Stop()
+	tk.Stop() // idempotent
+	s.RunUntil(2 * time.Second)
+	if ticks != 10 {
+		t.Fatalf("ticker fired after Stop: %d", ticks)
+	}
+}
+
+func TestTickerBadPeriod(t *testing.T) {
+	s := New(1)
+	if _, err := s.NewTicker(0, func() {}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := s.NewTicker(-time.Second, func() {}); err == nil {
+		t.Fatal("negative period accepted")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	id := s.MustSchedule(time.Second, func() {})
+	s.MustSchedule(2*time.Second, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	s.Cancel(id)
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() after cancel = %d, want 1", got)
+	}
+}
+
+// Property: for any set of non-negative delays, execution order is a sorted
+// permutation of the scheduled times.
+func TestPropertyExecutionOrderSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New(99)
+		var got []Time
+		for _, d := range raw {
+			at := time.Duration(d) * time.Microsecond
+			s.MustSchedule(at, func() { got = append(got, s.Now()) })
+		}
+		s.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds replay identical event counts and final clocks
+// for a randomized workload built from the seed itself.
+func TestPropertyDeterministicReplay(t *testing.T) {
+	run := func(seed int64) (uint64, Time) {
+		s := New(seed)
+		r := rand.New(rand.NewSource(seed))
+		var load func()
+		depth := 0
+		load = func() {
+			if depth > 500 {
+				return
+			}
+			depth++
+			n := r.Intn(3)
+			for i := 0; i < n; i++ {
+				s.MustSchedule(time.Duration(r.Intn(1000))*time.Millisecond, load)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			s.MustSchedule(time.Duration(r.Intn(100))*time.Millisecond, load)
+		}
+		n := s.Run()
+		return n, s.Now()
+	}
+	f := func(seed int64) bool {
+		n1, t1 := run(seed)
+		n2, t2 := run(seed)
+		return n1 == n2 && t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for j := 0; j < 1000; j++ {
+			s.MustSchedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}
+
+func TestMustSchedulePanicsOnNegative(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchedule accepted a negative delay")
+		}
+	}()
+	s.MustSchedule(-time.Second, func() {})
+}
+
+func TestSeedAndProcessedAccessors(t *testing.T) {
+	s := New(77)
+	if s.Seed() != 77 {
+		t.Fatalf("Seed() = %d", s.Seed())
+	}
+	s.MustSchedule(0, func() {})
+	s.MustSchedule(0, func() {})
+	s.Run()
+	if s.Processed() != 2 {
+		t.Fatalf("Processed() = %d", s.Processed())
+	}
+}
+
+func TestStepExecutesSingleEvent(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.MustSchedule(time.Second, func() { ran++ })
+	s.MustSchedule(2*time.Second, func() { ran++ })
+	if !s.Step() || ran != 1 {
+		t.Fatalf("first Step ran %d events", ran)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v after first step", s.Now())
+	}
+	if !s.Step() || ran != 2 {
+		t.Fatal("second Step failed")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue reported work")
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	s := New(1)
+	id := s.MustSchedule(time.Second, func() { t.Fatal("cancelled event ran") })
+	s.Cancel(id)
+	ran := false
+	s.MustSchedule(2*time.Second, func() { ran = true })
+	if !s.Step() || !ran {
+		t.Fatal("Step did not skip the cancelled event")
+	}
+}
+
+func TestRunUntilReentryPanics(t *testing.T) {
+	s := New(1)
+	s.MustSchedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-entrant RunUntil did not panic")
+			}
+		}()
+		s.RunUntil(2 * time.Second)
+	})
+	s.Run()
+}
