@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench eval sweep traces clean
+.PHONY: all build test race bench benchhot ci eval sweep traces clean
 
-all: build test
+all: build test race
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The full gate a change must pass before merging: clean build, vet,
+# and the whole suite under the race detector (the parallel evaluation
+# pipeline makes -race part of correctness, not an optional extra).
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 # Regenerate every table and figure of the paper.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path microbenchmarks with allocation counts, captured as JSON so
+# successive runs can be diffed (benchcmp-style) across commits.
+benchhot:
+	$(GO) test -run=NONE -bench='SignatureInspect|HTTPRequest|HTTPResponse|SyslogMessage|BulkChunk|FrameDialogue' \
+		-benchmem -count=1 -json ./internal/detect/ ./internal/traffic/ > BENCH_hotpath.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_hotpath.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_hotpath.json"
 
 # The paper's full prototype evaluation (all four products, both postures).
 eval:
@@ -37,4 +53,4 @@ traces:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json

@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "testbed seed")
 	csvFile := flag.String("csv", "", "also write the series as CSV")
 	quick := flag.Bool("quick", false, "shrink run durations")
+	workers := flag.Int("workers", 0, "worker-pool bound (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	spec, ok := products.Find(*productName)
@@ -34,7 +35,7 @@ func main() {
 		fatal(fmt.Errorf("unknown product %q", *productName))
 	}
 
-	opts := eval.SweepOptions{Seed: *seed, Points: *points}
+	opts := eval.SweepOptions{Seed: *seed, Points: *points, Workers: *workers}
 	if *quick {
 		opts.TrainFor = 6 * time.Second
 		opts.RunFor = 14 * time.Second

@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	idseval [-quick] [-seed N] [-class logistical|architectural|performance|all]
+//	idseval [-quick] [-seed N] [-workers N] [-class logistical|architectural|performance|all]
 //	        [-posture realtime|distributed|uniform] [-product NAME] [-tables]
+//
+// Evaluations fan out across every core by default; -workers 1 forces
+// the serial path. Either way the output is bit-identical for a given
+// seed — every experiment owns its simulation and derives its RNG
+// streams from the seed alone.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink experiment durations (smoke-test scale)")
 	seed := flag.Int64("seed", 11, "simulation seed")
+	workers := flag.Int("workers", 0, "worker-pool bound for parallel evaluation (0 = all cores, 1 = serial)")
 	class := flag.String("class", "all", "matrix class to print: logistical, architectural, performance, all")
 	posture := flag.String("posture", "realtime", "weighting posture: realtime, distributed, uniform")
 	product := flag.String("product", "", "evaluate only the named product")
@@ -57,7 +63,7 @@ func main() {
 	fmt.Fprintf(out, "Evaluating %d product(s) against the %d-metric standard (seed %d, quick=%v)\n\n",
 		len(field), reg.Len(), *seed, *quick)
 
-	evs, err := eval.EvaluateAll(field, reg, eval.Options{Seed: *seed, Quick: *quick})
+	evs, err := eval.EvaluateAll(field, reg, eval.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

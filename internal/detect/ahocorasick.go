@@ -131,6 +131,49 @@ func (m *Matcher) ScanSet(data []byte) []int {
 	return out
 }
 
+// ScanBuf is caller-owned scratch for ScanSetInto: a per-pattern seen
+// bitmap plus the result list. One ScanBuf per inspecting goroutine
+// lets many engines share a single immutable Matcher with zero
+// per-packet allocation; the buffers grow once and are reused.
+type ScanBuf struct {
+	seen []bool
+	hits []int32
+}
+
+// ScanSetInto is the allocation-free form of ScanSet: it returns the
+// sorted distinct pattern indices occurring in data, using buf for all
+// working state. The returned slice aliases buf and is valid until the
+// next call with the same buf.
+func (m *Matcher) ScanSetInto(data []byte, buf *ScanBuf) []int32 {
+	if len(buf.seen) < len(m.patterns) {
+		buf.seen = make([]bool, len(m.patterns))
+	}
+	hits := buf.hits[:0]
+	state := int32(0)
+	for _, b := range data {
+		state = m.next[state][b]
+		for _, p := range m.outputs[state] {
+			if !buf.seen[p] {
+				buf.seen[p] = true
+				hits = append(hits, p)
+			}
+		}
+	}
+	// Reset the bitmap by walking only the touched entries, then restore
+	// ScanSet's ascending order with an in-place insertion sort (the hit
+	// set is tiny — bounded by the corpus size).
+	for _, p := range hits {
+		buf.seen[p] = false
+	}
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j] < hits[j-1]; j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	buf.hits = hits
+	return hits
+}
+
 // NumPatterns returns how many non-empty patterns were compiled.
 func (m *Matcher) NumPatterns() int { return len(m.patterns) }
 

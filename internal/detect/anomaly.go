@@ -64,15 +64,36 @@ type AnomalyEngine struct {
 	trainPackets uint64
 
 	sensitivity float64
-	suppress    map[string]time.Duration
+	suppress    map[anomalySuppressKey]time.Duration
 	// SuppressWindow is the per-(cause,pair) alert holdoff.
 	SuppressWindow time.Duration
+	// lastPrune amortizes the sweep of expired suppress entries (same
+	// long-replay leak as the signature engine's maps).
+	lastPrune time.Duration
 	// MinServiceSamples gates z-score alerts until a service baseline has
 	// enough observations to be meaningful.
 	MinServiceSamples uint64
 
 	// Inspected counts packets analyzed after training.
 	Inspected uint64
+}
+
+// anomalyCause enumerates the engine's alert causes; using it in the
+// suppress key instead of a formatted string keeps raise() off the
+// allocator.
+type anomalyCause uint8
+
+const (
+	causeContent anomalyCause = iota
+	causeNewService
+	causePair
+	causeRate
+)
+
+// anomalySuppressKey identifies one (cause, src, dst) alert stream.
+type anomalySuppressKey struct {
+	cause    anomalyCause
+	src, dst packet.Addr
 }
 
 // rateTracker counts packets in tumbling one-second windows.
@@ -101,7 +122,7 @@ func NewAnomalyEngine() *AnomalyEngine {
 		pairs:             make(map[uint64]bool),
 		srcRate:           make(map[packet.Addr]*rateTracker),
 		sensitivity:       0.5,
-		suppress:          make(map[string]time.Duration),
+		suppress:          make(map[anomalySuppressKey]time.Duration),
 		SuppressWindow:    2 * time.Second,
 		MinServiceSamples: 30,
 	}
@@ -200,7 +221,7 @@ func (e *AnomalyEngine) rateFactorThreshold() float64 { return 8 - 6.5*e.sensiti
 // 0.35 and above.
 func (e *AnomalyEngine) noveltyEnabled() bool { return e.sensitivity >= 0.35 }
 
-func (e *AnomalyEngine) suppressed(key string, now time.Duration) bool {
+func (e *AnomalyEngine) suppressed(key anomalySuppressKey, now time.Duration) bool {
 	if last, ok := e.suppress[key]; ok && now-last < e.SuppressWindow {
 		return true
 	}
@@ -208,13 +229,27 @@ func (e *AnomalyEngine) suppressed(key string, now time.Duration) bool {
 	return false
 }
 
+// maybePrune drops suppress entries the holdoff check would already
+// treat as expired, at most once per suppress window.
+func (e *AnomalyEngine) maybePrune(now time.Duration) {
+	if now-e.lastPrune < e.SuppressWindow {
+		return
+	}
+	e.lastPrune = now
+	for key, last := range e.suppress {
+		if now-last >= e.SuppressWindow {
+			delete(e.suppress, key)
+		}
+	}
+}
+
 // Inspect implements Engine.
 func (e *AnomalyEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 	e.Inspected++
+	e.maybePrune(now)
 	var alerts []Alert
-	raise := func(cause, technique string, severity float64, reason string) {
-		key := fmt.Sprintf("%s/%d/%d", cause, p.Src, p.Dst)
-		if e.suppressed(key, now) {
+	raise := func(cause anomalyCause, technique string, severity float64, reason string) {
+		if e.suppressed(anomalySuppressKey{cause: cause, src: p.Src, dst: p.Dst}, now) {
 			return
 		}
 		alerts = append(alerts, Alert{
@@ -239,19 +274,19 @@ func (e *AnomalyEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 			zt := e.zThreshold()
 			if zl > zt || ze > zt {
 				z := math.Max(zl, ze)
-				raise("content", "content-anomaly",
+				raise(causeContent, "content-anomaly",
 					math.Min(1, z/(2*zt)+0.4),
 					fmt.Sprintf("payload deviates from service baseline (len z=%.1f, entropy z=%.1f)", zl, ze))
 			}
 		} else if e.noveltyEnabled() && !ok {
-			raise("newsvc", "novel-service", 0.5,
+			raise(causeNewService, "novel-service", 0.5,
 				fmt.Sprintf("no baseline for service port %d/%v", servicePort(p), p.Proto))
 		}
 	}
 
 	// Pair novelty: a host pair+service never seen in training.
 	if e.noveltyEnabled() && !e.pairs[pairKey(p)] {
-		raise("pair", "novel-service", 0.45,
+		raise(causePair, "novel-service", 0.45,
 			fmt.Sprintf("first contact %v -> %v service %d", p.Src, p.Dst, servicePort(p)))
 	}
 
@@ -267,7 +302,7 @@ func (e *AnomalyEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 		base = 10
 	}
 	if cur > base*e.rateFactorThreshold() {
-		raise("rate", "rate-anomaly",
+		raise(causeRate, "rate-anomaly",
 			math.Min(1, cur/(base*e.rateFactorThreshold())/2+0.4),
 			fmt.Sprintf("source rate %.0f pps exceeds %.1fx trained peak %.0f", cur, e.rateFactorThreshold(), e.trainedPeak))
 		// Reset the tumbling window so a sustained flood re-alerts once

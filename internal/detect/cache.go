@@ -1,0 +1,109 @@
+package detect
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// The compiled-artifact cache. Building the Aho–Corasick automaton is
+// the expensive part of signature-engine construction — O(total pattern
+// bytes) trie + BFS plus a dense 256-way transition table — and the
+// harness constructs engines constantly: one per sensor, per sweep
+// point, per throughput probe, per product. Every one of those engines
+// compiles the same few rule corpora, so the automaton is built once
+// per distinct corpus and shared. A Matcher is immutable after
+// construction (Scan/Contains/ScanSetInto only read the tables), which
+// makes a cached instance safe to share across sensors and across the
+// worker goroutines of a parallel evaluation.
+
+// matcherCache maps corpus fingerprint -> *matcherCacheEntry. Entries
+// are created with LoadOrStore and built under the entry's sync.Once,
+// so concurrent constructors of the same corpus block on one build
+// instead of racing duplicate ones.
+var matcherCache sync.Map
+
+type matcherCacheEntry struct {
+	once     sync.Once
+	matcher  *Matcher
+	patterns [][]byte // retained to verify against fingerprint collisions
+}
+
+// Cache instrumentation: how many distinct automata were actually
+// compiled versus how many constructions were served from cache.
+var (
+	matcherCacheBuilds atomic.Uint64
+	matcherCacheHits   atomic.Uint64
+)
+
+// MatcherCacheStats reports how many automaton compilations the cache
+// performed and how many engine constructions it satisfied without
+// compiling. After evaluating a whole product field, builds stays at
+// the number of distinct rule corpora — the acceptance evidence that
+// the artifact is compiled once and shared.
+func MatcherCacheStats() (builds, hits uint64) {
+	return matcherCacheBuilds.Load(), matcherCacheHits.Load()
+}
+
+// corpusFingerprint hashes a pattern corpus with FNV-1a, framing each
+// pattern by its length so concatenation ambiguities ("ab","c" vs
+// "a","bc") produce distinct keys.
+func corpusFingerprint(patterns [][]byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, pat := range patterns {
+		n := len(pat)
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(n >> (8 * i)))
+			h *= prime64
+		}
+		for _, b := range pat {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// samePatterns reports whether two corpora are byte-identical.
+func samePatterns(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CachedMatcher returns the compiled automaton for the pattern corpus,
+// building it at most once per distinct corpus for the life of the
+// process. The caller must not mutate the pattern bytes afterwards.
+// On the (astronomically unlikely) event of a fingerprint collision
+// the colliding corpus is compiled uncached rather than served a wrong
+// automaton.
+func CachedMatcher(patterns [][]byte) *Matcher {
+	fp := corpusFingerprint(patterns)
+	v, _ := matcherCache.LoadOrStore(fp, &matcherCacheEntry{})
+	e := v.(*matcherCacheEntry)
+	built := false
+	e.once.Do(func() {
+		e.patterns = patterns
+		e.matcher = NewMatcher(patterns)
+		matcherCacheBuilds.Add(1)
+		built = true
+	})
+	if !built {
+		if !samePatterns(e.patterns, patterns) {
+			matcherCacheBuilds.Add(1)
+			return NewMatcher(patterns)
+		}
+		matcherCacheHits.Add(1)
+	}
+	return e.matcher
+}

@@ -1,0 +1,176 @@
+package detect
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// benignPacket is a realistic clean packet: mid-session TCP data whose
+// payload matches no content rule and whose flags match no threshold
+// rule. This is the overwhelmingly common case on the evaluation
+// testbed, so it is the path the zero-allocation work targets.
+func benignPacket() *packet.Packet {
+	return &packet.Packet{
+		Seq: 7, Src: 0x0A010105, Dst: 0x0A010106,
+		SrcPort: 34012, DstPort: 80,
+		Proto: packet.ProtoTCP, Flags: packet.ACK | packet.PSH, TTL: 64,
+		Payload: []byte("GET /catalog/items HTTP/1.0\r\nHost: shop.example.com\r\n" +
+			"User-Agent: Lynx/2.8.4rel.1 libwww-FM/2.14\r\nAccept: */*\r\n\r\n" +
+			"status report nominal track update bearing range doppler contact"),
+	}
+}
+
+// TestSignatureInspectBenignZeroAllocs pins the acceptance criterion:
+// inspecting a clean packet allocates nothing — no suppress-key
+// formatting, no Reason formatting, no per-scan hit slices.
+func TestSignatureInspectBenignZeroAllocs(t *testing.T) {
+	e := NewStandardSignatureEngine()
+	p := benignPacket()
+	now := 5 * time.Millisecond
+	e.Inspect(p, now) // warm scan buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 40 * time.Microsecond
+		if got := e.Inspect(p, now); got != nil {
+			t.Fatalf("benign packet raised alerts: %v", got)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Inspect benign path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSignatureInspect(b *testing.B) {
+	e := NewStandardSignatureEngine()
+	p := benignPacket()
+	now := time.Duration(0)
+	e.Inspect(p, now)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(p.Payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 40 * time.Microsecond
+		e.Inspect(p, now)
+	}
+}
+
+func BenchmarkSignatureInspectMalicious(b *testing.B) {
+	e := NewStandardSignatureEngine()
+	p := benignPacket()
+	p.Payload = []byte("GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0\r\n\r\n")
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 40 * time.Microsecond
+		e.Inspect(p, now)
+	}
+}
+
+// TestCachedMatcherBuildsOnce verifies the compiled-artifact cache:
+// one automaton build per distinct corpus, every later request a hit
+// returning the same immutable Matcher.
+func TestCachedMatcherBuildsOnce(t *testing.T) {
+	corpus := [][]byte{
+		[]byte("cache-probe-alpha"), []byte("cache-probe-beta"),
+		[]byte("cache-probe-gamma"),
+	}
+	builds0, hits0 := MatcherCacheStats()
+	first := CachedMatcher(corpus)
+	for i := 0; i < 4; i++ {
+		if m := CachedMatcher(corpus); m != first {
+			t.Fatalf("request %d returned a different Matcher instance", i)
+		}
+	}
+	builds, hits := MatcherCacheStats()
+	if got := builds - builds0; got != 1 {
+		t.Fatalf("corpus compiled %d times, want exactly 1", got)
+	}
+	if got := hits - hits0; got != 4 {
+		t.Fatalf("cache hits = %d, want 4", got)
+	}
+}
+
+// TestSignatureEnginesShareCachedMatcher verifies that engines built
+// from the same rule corpus — the multi-product evaluation pattern —
+// share one compiled automaton instead of recompiling per product.
+func TestSignatureEnginesShareCachedMatcher(t *testing.T) {
+	a := NewStandardSignatureEngine()
+	b := NewStandardSignatureEngine()
+	if a.matcher != b.matcher {
+		t.Fatal("two engines over the standard corpus hold different compiled matchers")
+	}
+}
+
+// TestCachedMatcherConcurrentScans exercises the sharing contract under
+// the race detector: many goroutines scan through one cached Matcher
+// concurrently, each with its own ScanBuf, and all see the same hits.
+func TestCachedMatcherConcurrentScans(t *testing.T) {
+	corpus := [][]byte{[]byte("needle-one"), []byte("needle-two"), []byte("absent")}
+	data := bytes.Repeat([]byte("padding needle-one more padding needle-two tail "), 8)
+	m := CachedMatcher(corpus)
+	want := m.ScanSet(data)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf ScanBuf
+			for i := 0; i < 200; i++ {
+				got := CachedMatcher(corpus).ScanSetInto(data, &buf)
+				if len(got) != len(want) {
+					errs <- bytes.ErrTooLarge // placeholder; reported below
+					return
+				}
+				for j := range got {
+					if int(got[j]) != want[j] {
+						errs <- bytes.ErrTooLarge
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if len(errs) > 0 {
+		t.Fatal("concurrent ScanSetInto results diverged from serial ScanSet")
+	}
+}
+
+// TestScanSetIntoMatchesScanSet cross-checks the zero-allocation scan
+// against the allocating original across the standard corpus.
+func TestScanSetIntoMatchesScanSet(t *testing.T) {
+	rules := StandardContentRules()
+	pats := make([][]byte, len(rules))
+	for i, r := range rules {
+		pats[i] = r.Pattern
+	}
+	m := NewMatcher(pats)
+	inputs := [][]byte{
+		nil,
+		[]byte("nothing of note"),
+		[]byte("GET /cgi-bin/phf HTTP/1.0"),
+		[]byte("login as admin, cat /etc/passwd, su root"),
+		bytes.Repeat([]byte{0x90}, 64),
+		[]byte("Login incorrectLogin incorrect"),
+	}
+	var buf ScanBuf
+	for _, in := range inputs {
+		want := m.ScanSet(in)
+		got := m.ScanSetInto(in, &buf)
+		if len(got) != len(want) {
+			t.Fatalf("ScanSetInto(%q) = %v, want %v", in, got, want)
+		}
+		for i := range got {
+			if int(got[i]) != want[i] {
+				t.Fatalf("ScanSetInto(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}

@@ -102,8 +102,25 @@ func (st *thresholdState) add(now time.Duration, port uint16, distinct bool) int
 func (st *thresholdState) reset() {
 	st.hits = st.hits[:0]
 	if st.ports != nil {
-		st.ports = make(map[uint16]int)
+		clear(st.ports)
 	}
+}
+
+// suppressKey identifies one (rule, scope) alert stream. It replaces
+// the formatted string keys the suppress map used to be indexed by,
+// removing the fmt.Sprintf allocation from every candidate match.
+type suppressKey struct {
+	threshold bool
+	rule      int32 // index into rules or thresholds
+	scope     uint64
+}
+
+func contentSuppressKey(rule int, p *packet.Packet) suppressKey {
+	return suppressKey{rule: int32(rule), scope: uint64(p.Src)<<32 | uint64(p.Dst)}
+}
+
+func thresholdSuppressKey(rule int, counter uint64) suppressKey {
+	return suppressKey{threshold: true, rule: int32(rule), scope: counter}
 }
 
 // SignatureEngine is a misuse detector: payload patterns via Aho–Corasick
@@ -111,15 +128,27 @@ func (st *thresholdState) reset() {
 // It detects only what its corpus describes — the paper's core criticism
 // of pure signature systems ("will only detect previously known attacks").
 type SignatureEngine struct {
-	rules       []ContentRule
-	matcher     *Matcher // compiled over ALL rules; activation filtered at alert time
+	rules []ContentRule
+	// matcher is compiled over ALL rules (activation filtered at alert
+	// time) and comes from the process-wide compiled-artifact cache: it
+	// is immutable and typically shared with every other engine built
+	// from the same corpus. Per-engine scan state lives in scanBuf.
+	matcher *Matcher
+	scanBuf ScanBuf
+	// reasons[i] is rules[i]'s alert Reason, formatted once at
+	// construction instead of on every match.
+	reasons     []string
 	thresholds  []ThresholdRule
 	sensitivity float64
 
-	// suppress deduplicates repeated fires of the same (rule, pair).
-	suppress map[string]time.Duration
-	// SuppressWindow is the per-(rule,pair) alert holdoff.
+	// suppress deduplicates repeated fires of the same (rule, scope).
+	suppress map[suppressKey]time.Duration
+	// SuppressWindow is the per-(rule,scope) alert holdoff.
 	SuppressWindow time.Duration
+	// lastPrune bounds how often expired suppress/threshold state is
+	// swept; without the sweep both maps grow without bound on long
+	// replays (one entry per distinct flow ever seen).
+	lastPrune time.Duration
 
 	thState []map[uint64]*thresholdState
 
@@ -141,12 +170,16 @@ func NewSignatureEngine(rules []ContentRule, thresholds []ThresholdRule) *Signat
 	}
 	e := &SignatureEngine{
 		rules:          rules,
-		matcher:        NewMatcher(pats),
+		matcher:        CachedMatcher(pats),
+		reasons:        make([]string, len(rules)),
 		thresholds:     thresholds,
 		sensitivity:    0.5,
-		suppress:       make(map[string]time.Duration),
+		suppress:       make(map[suppressKey]time.Duration),
 		SuppressWindow: 2 * time.Second,
 		thState:        make([]map[uint64]*thresholdState, len(thresholds)),
+	}
+	for i, r := range rules {
+		e.reasons[i] = fmt.Sprintf("signature %q matched", r.Name)
 	}
 	for i := range e.thState {
 		e.thState[i] = make(map[uint64]*thresholdState)
@@ -218,7 +251,7 @@ func keyFor(k ThresholdKey, p *packet.Packet) uint64 {
 }
 
 // suppressed checks and arms the alert holdoff for key.
-func (e *SignatureEngine) suppressed(key string, now time.Duration) bool {
+func (e *SignatureEngine) suppressed(key suppressKey, now time.Duration) bool {
 	if last, ok := e.suppress[key]; ok && now-last < e.SuppressWindow {
 		return true
 	}
@@ -226,9 +259,36 @@ func (e *SignatureEngine) suppressed(key string, now time.Duration) bool {
 	return false
 }
 
+// maybePrune sweeps expired suppress entries and drained threshold
+// counters, amortized to at most one sweep per suppress window. Entries
+// are deleted exactly when the inspection path would already treat them
+// as expired, so pruning never changes detection behaviour — it only
+// caps the maps at the live working set instead of every flow ever
+// seen (the long-replay memory leak).
+func (e *SignatureEngine) maybePrune(now time.Duration) {
+	if now-e.lastPrune < e.SuppressWindow {
+		return
+	}
+	e.lastPrune = now
+	for key, last := range e.suppress {
+		if now-last >= e.SuppressWindow {
+			delete(e.suppress, key)
+		}
+	}
+	for i, r := range e.thresholds {
+		for k, st := range e.thState[i] {
+			st.prune(now, r.Window)
+			if len(st.hits) == 0 {
+				delete(e.thState[i], k)
+			}
+		}
+	}
+}
+
 // Inspect implements Engine.
 func (e *SignatureEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 	e.Inspected++
+	e.maybePrune(now)
 	var alerts []Alert
 	minFidelity := 1 - e.sensitivity
 
@@ -237,19 +297,18 @@ func (e *SignatureEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 		if e.reassembler != nil {
 			data = e.reassembler.Extend(p)
 		}
-		for _, idx := range e.matcher.ScanSet(data) {
+		for _, idx := range e.matcher.ScanSetInto(data, &e.scanBuf) {
 			r := e.rules[idx]
 			if r.Fidelity < minFidelity {
 				continue
 			}
-			key := fmt.Sprintf("c/%s/%d/%d", r.Name, p.Src, p.Dst)
-			if e.suppressed(key, now) {
+			if e.suppressed(contentSuppressKey(int(idx), p), now) {
 				continue
 			}
 			alerts = append(alerts, Alert{
 				At: now, Technique: r.Technique, Severity: r.Severity,
 				Attacker: p.Src, Victim: p.Dst, Flow: p.Key(),
-				Reason: fmt.Sprintf("signature %q matched", r.Name),
+				Reason: e.reasons[idx],
 				Engine: e.Name(),
 			})
 		}
@@ -271,8 +330,10 @@ func (e *SignatureEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 		st.prune(now, r.Window)
 		count := st.add(now, p.DstPort, r.DistinctPorts)
 		if count >= e.thresholdEffective(r.BaseCount) {
-			key := fmt.Sprintf("t/%s/%d", r.Name, k)
-			if !e.suppressed(key, now) {
+			if !e.suppressed(thresholdSuppressKey(i, k), now) {
+				// Threshold reasons carry run-specific counts, so they
+				// stay lazily formatted — but only on an unsuppressed
+				// fire, never on the per-packet path.
 				alerts = append(alerts, Alert{
 					At: now, Technique: r.Technique, Severity: r.Severity,
 					Attacker: p.Src, Victim: p.Dst, Flow: p.Key(),

@@ -1,13 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/par"
 	"repro/internal/products"
 )
 
@@ -271,6 +272,13 @@ func ScoreCompromiseAnalysis(coverage float64, identifiedAny bool) core.Score {
 type Options struct {
 	Seed  int64
 	Quick bool
+	// Workers bounds every worker pool the evaluation fans out on — the
+	// product matrix, the per-product measured metrics, and the
+	// sensitivity sweeps. 0 sizes the pools to the machine; 1 forces the
+	// fully serial path. Because every experiment owns its simulation and
+	// derives its RNG streams from Seed alone, both settings produce
+	// bit-identical scorecards.
+	Workers int
 }
 
 // ProductEvaluation bundles a product's complete scorecard with the raw
@@ -289,6 +297,14 @@ type ProductEvaluation struct {
 // EvaluateProduct runs every experiment against one product and fills a
 // complete scorecard: static observations from the spec plus measured
 // observations from the harness.
+//
+// The measured metrics — accuracy/compromise, throughput, latency, host
+// impact, and the sensitivity sweep — are independent experiments: each
+// builds its own simulation from opts.Seed and never shares mutable
+// state with the others (compiled signature corpora are shared, but
+// immutable). They therefore fan out on the bounded runner, and because
+// every experiment's RNG streams derive from opts.Seed alone, the
+// parallel scorecard is bit-identical to the serial one.
 func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*ProductEvaluation, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 11
@@ -299,70 +315,89 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 	}
 	ev := &ProductEvaluation{Spec: spec, Card: card}
 
-	// Accuracy + timeliness + response + compromise (one big run).
-	accCfg := TestbedConfig{Seed: opts.Seed}
-	attackFor := 45 * time.Second
-	strength := attack.Intensity(1)
-	if opts.Quick {
-		accCfg.TrainFor = 8 * time.Second
-		accCfg.BackgroundPps = 250
-		attackFor = 20 * time.Second
-		strength = 0.5
+	experiments := []func() error{
+		// Accuracy + timeliness + response + compromise (one big run).
+		func() error {
+			accCfg := TestbedConfig{Seed: opts.Seed}
+			attackFor := 45 * time.Second
+			strength := attack.Intensity(1)
+			if opts.Quick {
+				accCfg.TrainFor = 8 * time.Second
+				accCfg.BackgroundPps = 250
+				attackFor = 20 * time.Second
+				strength = 0.5
+			}
+			tb, err := NewTestbed(spec, accCfg)
+			if err != nil {
+				return err
+			}
+			acc, err := RunAccuracy(tb, 0.6, attackFor, strength)
+			if err != nil {
+				return err
+			}
+			ev.Accuracy = acc
+			ev.Compromise = AnalyzeCompromise(tb, acc)
+			return nil
+		},
+		// Throughput / lethal dose.
+		func() error {
+			thOpts := ThroughputOptions{Seed: opts.Seed}
+			if opts.Quick {
+				thOpts.Window = 100 * time.Millisecond
+				thOpts.HiPps = 65536
+			}
+			th, err := MeasureThroughput(spec, thOpts)
+			if err != nil {
+				return err
+			}
+			ev.Throughput = th
+			return nil
+		},
+		// Induced latency: products deploy per their nature — everything
+		// is measured both ways by the ablation bench; the scorecard uses
+		// the passive (mirror) deployment, the paper's common case, except
+		// that the latency number still reflects any balancer cost.
+		func() error {
+			lat, err := MeasureInducedLatency(spec, TapMirror, opts.Seed)
+			if err != nil {
+				return err
+			}
+			ev.Latency = lat
+			return nil
+		},
+		// Host impact.
+		func() error {
+			imp, err := MeasureOperationalImpact(spec, opts.Seed)
+			if err != nil {
+				return err
+			}
+			ev.Impact = imp
+			return nil
+		},
+		// Sensitivity sweep.
+		func() error {
+			swOpts := SweepOptions{Seed: opts.Seed, Workers: opts.Workers}
+			if opts.Quick {
+				swOpts.Points = 3
+				swOpts.TrainFor = 6 * time.Second
+				swOpts.RunFor = 14 * time.Second
+				swOpts.Pps = 200
+				swOpts.Strength = 0.5
+			}
+			sw, err := SensitivitySweep(spec, swOpts)
+			if err != nil {
+				return err
+			}
+			ev.Sweep = sw
+			return nil
+		},
 	}
-	tb, err := NewTestbed(spec, accCfg)
+	err := par.ForEach(context.Background(), len(experiments), opts.Workers, func(_ context.Context, i int) error {
+		return experiments[i]()
+	})
 	if err != nil {
 		return nil, err
 	}
-	acc, err := RunAccuracy(tb, 0.6, attackFor, strength)
-	if err != nil {
-		return nil, err
-	}
-	ev.Accuracy = acc
-	ev.Compromise = AnalyzeCompromise(tb, acc)
-
-	// Throughput / lethal dose.
-	thOpts := ThroughputOptions{Seed: opts.Seed}
-	if opts.Quick {
-		thOpts.Window = 100 * time.Millisecond
-		thOpts.HiPps = 65536
-	}
-	th, err := MeasureThroughput(spec, thOpts)
-	if err != nil {
-		return nil, err
-	}
-	ev.Throughput = th
-
-	// Induced latency: products deploy per their nature — everything is
-	// measured both ways by the ablation bench; the scorecard uses the
-	// passive (mirror) deployment, the paper's common case, except that
-	// the latency number still reflects any balancer cost.
-	lat, err := MeasureInducedLatency(spec, TapMirror, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	ev.Latency = lat
-
-	// Host impact.
-	imp, err := MeasureOperationalImpact(spec, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	ev.Impact = imp
-
-	// Sensitivity sweep.
-	swOpts := SweepOptions{Seed: opts.Seed}
-	if opts.Quick {
-		swOpts.Points = 3
-		swOpts.TrainFor = 6 * time.Second
-		swOpts.RunFor = 14 * time.Second
-		swOpts.Pps = 200
-		swOpts.Strength = 0.5
-	}
-	sw, err := SensitivitySweep(spec, swOpts)
-	if err != nil {
-		return nil, err
-	}
-	ev.Sweep = sw
 
 	if err := ev.fillMeasuredScores(); err != nil {
 		return nil, err
@@ -448,30 +483,22 @@ func lethalNote(th *ThroughputResult) string {
 
 // EvaluateAll evaluates every product in the field against one registry.
 // Product evaluations are independent (each owns its simulations), so
-// they run concurrently, one goroutine per product; results keep the
-// input order, so the parallel run is indistinguishable from a serial
-// one.
+// they run concurrently on the bounded runner; results keep the input
+// order, so the parallel run is bit-identical to a serial one. The
+// first failing product (in field order) cancels the rest and its
+// error is the one returned.
 func EvaluateAll(specs []products.Spec, reg *core.Registry, opts Options) ([]*ProductEvaluation, error) {
 	out := make([]*ProductEvaluation, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec products.Spec) {
-			defer wg.Done()
-			ev, err := EvaluateProduct(spec, reg, opts)
-			if err != nil {
-				errs[i] = fmt.Errorf("eval: %s: %w", spec.Name, err)
-				return
-			}
-			out[i] = ev
-		}(i, spec)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := par.ForEach(context.Background(), len(specs), opts.Workers, func(_ context.Context, i int) error {
+		ev, err := EvaluateProduct(specs[i], reg, opts)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("eval: %s: %w", specs[i].Name, err)
 		}
+		out[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,12 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/par"
 	"repro/internal/products"
 )
 
@@ -45,6 +45,9 @@ type SweepOptions struct {
 	RunFor   time.Duration // default 30s
 	Pps      float64       // default 400
 	Strength attack.Intensity
+	// Workers bounds the sweep's worker pool: 0 sizes it to the machine,
+	// 1 forces the serial path (the determinism reference).
+	Workers int
 }
 
 func (o *SweepOptions) applyDefaults() {
@@ -72,63 +75,41 @@ func (o *SweepOptions) applyDefaults() {
 // range, producing the Type I / Type II error curves of Figure 4. Each
 // point uses a fresh testbed with the same seed, so the only varying
 // factor is the sensitivity knob. Points are independent simulations, so
-// they fan out across a worker pool sized to the machine; results are
-// reassembled in order, making the parallel sweep bit-identical to a
-// serial one.
+// they fan out across the shared bounded runner; results are assembled
+// in index order, making the parallel sweep bit-identical to a serial
+// one. On failure the remaining points are cancelled, the
+// lowest-indexed point's error is surfaced, and no partially-filled
+// result is returned.
 func SensitivitySweep(spec products.Spec, opts SweepOptions) (*SweepResult, error) {
 	opts.applyDefaults()
 	if opts.Points < 2 {
 		return nil, fmt.Errorf("eval: sweep needs at least 2 points, got %d", opts.Points)
 	}
-	out := &SweepResult{Product: spec.Name}
-	out.Points = make([]SweepPoint, opts.Points)
-
-	type job struct{ idx int }
-	jobs := make(chan job)
-	errs := make(chan error, opts.Points)
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > opts.Points {
-		workers = opts.Points
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				s := float64(j.idx) / float64(opts.Points-1)
-				tb, err := NewTestbed(spec, TestbedConfig{
-					Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
-				})
-				if err != nil {
-					errs <- err
-					continue
-				}
-				res, err := RunAccuracy(tb, s, opts.RunFor, opts.Strength)
-				if err != nil {
-					errs <- err
-					continue
-				}
-				out.Points[j.idx] = SweepPoint{
-					Sensitivity: s,
-					TypeI:       res.FalsePositiveRatio * 100,
-					TypeII:      res.MissRate * 100,
-					Raw:         res,
-				}
-			}
-		}()
-	}
-	for i := 0; i < opts.Points; i++ {
-		jobs <- job{idx: i}
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
+	points := make([]SweepPoint, opts.Points)
+	err := par.ForEach(context.Background(), opts.Points, opts.Workers, func(_ context.Context, i int) error {
+		s := float64(i) / float64(opts.Points-1)
+		tb, err := NewTestbed(spec, TestbedConfig{
+			Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		res, err := RunAccuracy(tb, s, opts.RunFor, opts.Strength)
+		if err != nil {
+			return err
+		}
+		points[i] = SweepPoint{
+			Sensitivity: s,
+			TypeI:       res.FalsePositiveRatio * 100,
+			TypeII:      res.MissRate * 100,
+			Raw:         res,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := &SweepResult{Product: spec.Name, Points: points}
 	out.EER, out.EERError, out.EERValid = equalErrorRate(out.Points)
 	return out, nil
 }

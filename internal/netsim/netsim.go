@@ -32,12 +32,42 @@ type LinkStats struct {
 	Bytes     uint64
 }
 
+// transmission is one packet committed to a link direction's wire but
+// not yet delivered.
+type transmission struct {
+	p       *packet.Packet
+	size    int
+	arrival simtime.Time
+}
+
 // linkDir is the transmission state for one direction of a duplex link.
+// In-flight packets sit in a FIFO ring whose backing array is recycled
+// in place, with a single armed delivery event for the head — so a
+// sustained high-pps flow reuses one buffer and one closure instead of
+// allocating a fresh closure per packet.
 type linkDir struct {
 	to        Endpoint
 	busyUntil simtime.Time
 	queued    int // bytes committed to the queue but not yet serialized
 	stats     LinkStats
+
+	inflight []transmission
+	head     int
+	armed    bool
+	deliver  func() // reused delivery handler for the queue head
+}
+
+// pop removes and returns the queue head, compacting the ring when it
+// empties so the backing array is reused.
+func (dir *linkDir) pop() transmission {
+	tx := dir.inflight[dir.head]
+	dir.inflight[dir.head].p = nil // don't retain the packet via the pool
+	dir.head++
+	if dir.head == len(dir.inflight) {
+		dir.inflight = dir.inflight[:0]
+		dir.head = 0
+	}
+	return tx
 }
 
 // Link is a full-duplex point-to-point link with finite bandwidth, a
@@ -79,7 +109,7 @@ func NewLink(sim *simtime.Sim, a, b Endpoint, cfg LinkConfig) *Link {
 	if cfg.Name == "" {
 		cfg.Name = "link"
 	}
-	return &Link{
+	l := &Link{
 		sim:          sim,
 		BandwidthBps: cfg.BandwidthBps,
 		Propagation:  cfg.Propagation,
@@ -87,6 +117,29 @@ func NewLink(sim *simtime.Sim, a, b Endpoint, cfg LinkConfig) *Link {
 		name:         cfg.Name,
 		a:            &linkDir{to: a},
 		b:            &linkDir{to: b},
+	}
+	l.a.deliver = l.deliverFunc(l.a)
+	l.b.deliver = l.deliverFunc(l.b)
+	return l
+}
+
+// deliverFunc builds the one delivery handler a direction reuses for
+// every packet: deliver the queue head, then re-arm for the next
+// in-flight packet (arrivals are FIFO because busyUntil is monotone).
+func (l *Link) deliverFunc(dir *linkDir) func() {
+	return func() {
+		tx := dir.pop()
+		dir.queued -= tx.size
+		dir.stats.Delivered++
+		dir.stats.Bytes += uint64(tx.size)
+		if dir.head < len(dir.inflight) {
+			l.sim.MustSchedule(dir.inflight[dir.head].arrival-l.sim.Now(), dir.deliver)
+		} else {
+			dir.armed = false
+		}
+		if dir.to != nil {
+			dir.to.Receive(tx.p, l)
+		}
 	}
 }
 
@@ -140,14 +193,11 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 	serialize := time.Duration(float64(size*8) / l.BandwidthBps * float64(time.Second))
 	dir.busyUntil = start + serialize
 	arrival := dir.busyUntil + l.Propagation
-	l.sim.MustSchedule(arrival-now, func() {
-		dir.queued -= size
-		dir.stats.Delivered++
-		dir.stats.Bytes += uint64(size)
-		if dir.to != nil {
-			dir.to.Receive(p, l)
-		}
-	})
+	dir.inflight = append(dir.inflight, transmission{p: p, size: size, arrival: arrival})
+	if !dir.armed {
+		dir.armed = true
+		l.sim.MustSchedule(arrival-now, dir.deliver)
+	}
 	return true
 }
 
@@ -397,14 +447,62 @@ type InlineDevice struct {
 	// use). Returning false drops the packet (traffic filtering).
 	Process func(p *packet.Packet) bool
 
+	// queue holds accepted-but-unprocessed packets in a recycled FIFO
+	// ring with one armed completion event, mirroring linkDir.
+	queue []inlineJob
+	head  int
+	armed bool
+	run   func()
+
 	Forwarded uint64
 	Dropped   uint64
 	Filtered  uint64
 }
 
+// inlineJob is one packet waiting in an InlineDevice's processor queue.
+type inlineJob struct {
+	p    *packet.Packet
+	from *Link
+	done simtime.Time
+}
+
 // NewInlineDevice creates an in-line element. Wire it with SetLinks.
 func NewInlineDevice(sim *simtime.Sim, name string, perPacket time.Duration) *InlineDevice {
-	return &InlineDevice{sim: sim, name: name, PerPacket: perPacket, QueueLimit: 4096}
+	d := &InlineDevice{sim: sim, name: name, PerPacket: perPacket, QueueLimit: 4096}
+	d.run = d.process
+	return d
+}
+
+// process completes the queue head's service time: run the inspection
+// hook and forward out the other side, then re-arm for the next job.
+func (d *InlineDevice) process() {
+	job := d.queue[d.head]
+	d.queue[d.head] = inlineJob{}
+	d.head++
+	if d.head == len(d.queue) {
+		d.queue = d.queue[:0]
+		d.head = 0
+	}
+	d.queueDepth--
+	if d.head < len(d.queue) {
+		d.sim.MustSchedule(d.queue[d.head].done-d.sim.Now(), d.run)
+	} else {
+		d.armed = false
+	}
+	if d.Process != nil && !d.Process(job.p) {
+		d.Filtered++
+		return
+	}
+	out := d.right
+	if job.from == d.right {
+		out = d.left
+	}
+	if out == nil {
+		d.Dropped++
+		return
+	}
+	d.Forwarded++
+	out.Send(d, job.p)
 }
 
 // Name implements Endpoint.
@@ -438,23 +536,11 @@ func (d *InlineDevice) Receive(p *packet.Packet, from *Link) {
 	}
 	d.queueDepth++
 	d.busyUntil = start + cost
-	d.sim.MustSchedule(d.busyUntil-now, func() {
-		d.queueDepth--
-		if d.Process != nil && !d.Process(p) {
-			d.Filtered++
-			return
-		}
-		out := d.right
-		if from == d.right {
-			out = d.left
-		}
-		if out == nil {
-			d.Dropped++
-			return
-		}
-		d.Forwarded++
-		out.Send(d, p)
-	})
+	d.queue = append(d.queue, inlineJob{p: p, from: from, done: d.busyUntil})
+	if !d.armed {
+		d.armed = true
+		d.sim.MustSchedule(d.busyUntil-now, d.run)
+	}
 }
 
 // Sink is an endpoint that counts and optionally inspects packets without

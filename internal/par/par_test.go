@@ -1,0 +1,87 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		hit := make([]atomic.Int32, 50)
+		err := ForEach(context.Background(), len(hit), workers, func(ctx context.Context, i int) error {
+			hit[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+		for i := range hit {
+			if got := hit[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForEachLowestIndexedErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	// Both jobs fail on every schedule; the surfaced error must always be
+	// the lowest-indexed one regardless of completion order.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(context.Background(), 8, 8, func(ctx context.Context, i int) error {
+			switch i {
+			case 2:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, errLow)
+		}
+	}
+}
+
+func TestForEachFailFastSkipsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	// Serial pool: job 0 fails, so jobs 1..99 must be skipped.
+	err := ForEach(context.Background(), 100, 1, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d jobs after failure, want 1", got)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 10, 4, func(ctx context.Context, i int) error {
+		t.Fatalf("job %d ran under cancelled parent", i)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -14,7 +14,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -29,52 +28,105 @@ type Time = time.Duration
 // Handler is a scheduled action. It runs at its scheduled virtual time.
 type Handler func()
 
-// event is one entry in the pending-event heap.
+// event is one entry in the pending-event heap. Executed and cancelled
+// events are recycled through the Sim's freelist, so a high-rate
+// simulation reuses a small set of event structs instead of allocating
+// one per scheduled action; gen distinguishes incarnations so a stale
+// EventID can never cancel the struct's next occupant.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break so equal-time events run in schedule order
 	fn   Handler
-	dead bool // cancelled
-	idx  int  // heap index, maintained by eventHeap
+	dead bool   // cancelled
+	idx  int    // heap index, maintained by eventHeap
+	gen  uint64 // incarnation counter for recycled events
 }
 
-// eventHeap implements container/heap ordered by (at, seq).
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). The
+// ordering is a strict total order (seq is unique), so the pop sequence
+// is the sorted sequence regardless of heap arity or implementation —
+// switching heap internals can never change simulation behaviour. The
+// 4-ary layout halves the tree depth of a binary heap and the direct
+// methods avoid container/heap's interface calls, which together make
+// up a large share of the kernel's per-event cost.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+// push inserts e, maintaining e.idx for Cancel.
+func (h *eventHeap) push(e *event) {
+	hh := append(*h, e)
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(e, hh[p]) {
+			break
+		}
+		hh[i] = hh[p]
+		hh[i].idx = i
+		i = p
+	}
+	hh[i] = e
+	e.idx = i
+	*h = hh
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *event {
+	hh := *h
+	e := hh[0]
+	n := len(hh) - 1
+	last := hh[n]
+	hh[n] = nil
+	*h = hh[:n]
 	e.idx = -1
-	*h = old[:n-1]
+	if n > 0 {
+		h.siftDown(last, 0)
+	}
 	return e
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
+// siftDown sinks e from the hole at position i to its heap position.
+func (h *eventHeap) siftDown(e *event, i int) {
+	hh := *h
+	n := len(hh)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(hh[j], hh[m]) {
+				m = j
+			}
+		}
+		if !eventLess(hh[m], e) {
+			break
+		}
+		hh[i] = hh[m]
+		hh[i].idx = i
+		i = m
+	}
+	hh[i] = e
+	e.idx = i
+}
+
+// EventID identifies a scheduled event so it can be cancelled. It pins
+// the event's incarnation, so an ID held across the event's execution
+// stays a safe no-op even after the underlying struct is recycled.
 type EventID struct {
-	e *event
+	e   *event
+	gen uint64
 }
 
 // Sim is a discrete-event simulation: a virtual clock plus a pending-event
@@ -83,6 +135,9 @@ type Sim struct {
 	now     Time
 	seq     uint64
 	pending eventHeap
+	// free recycles executed/cancelled event structs for reuse by
+	// ScheduleAt; its size is bounded by the peak pending-event count.
+	free    []*event
 	streams map[string]*rand.Rand
 	seed    int64
 	running bool
@@ -154,16 +209,33 @@ func (s *Sim) ScheduleAt(at Time, fn Handler) (EventID, error) {
 		return EventID{}, errors.New("simtime: nil handler")
 	}
 	s.seq++
-	e := &event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.pending, e)
-	return EventID{e: e}, nil
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.seq, e.fn = at, s.seq, fn
+	} else {
+		e = &event{at: at, seq: s.seq, fn: fn}
+	}
+	s.pending.push(e)
+	return EventID{e: e, gen: e.gen}, nil
+}
+
+// release returns a popped event to the freelist, retiring every
+// EventID issued for its current incarnation.
+func (s *Sim) release(e *event) {
+	e.fn = nil
+	e.dead = false
+	e.gen++
+	s.free = append(s.free, e)
 }
 
 // Cancel removes a scheduled event. Cancelling an already-run or
 // already-cancelled event is a no-op and reports false.
 func (s *Sim) Cancel(id EventID) bool {
 	e := id.e
-	if e == nil || e.dead || e.idx < 0 {
+	if e == nil || e.gen != id.gen || e.dead || e.idx < 0 {
 		return false
 	}
 	e.dead = true
@@ -174,13 +246,16 @@ func (s *Sim) Cancel(id EventID) bool {
 // It reports whether an event was executed.
 func (s *Sim) Step() bool {
 	for len(s.pending) > 0 {
-		e := heap.Pop(&s.pending).(*event)
+		e := s.pending.popMin()
 		if e.dead {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.processed++
-		e.fn()
+		fn := e.fn
+		s.release(e)
+		fn()
 		return true
 	}
 	return false
@@ -208,16 +283,19 @@ func (s *Sim) RunUntil(deadline Time) uint64 {
 	for len(s.pending) > 0 && !s.stopped {
 		next := s.pending[0]
 		if next.dead {
-			heap.Pop(&s.pending)
+			s.pending.popMin()
+			s.release(next)
 			continue
 		}
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&s.pending)
+		s.pending.popMin()
 		s.now = next.at
 		s.processed++
-		next.fn()
+		fn := next.fn
+		s.release(next)
+		fn()
 		n++
 	}
 	if !s.stopped && s.now < deadline && deadline < 1<<62-1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/packet"
@@ -153,10 +154,10 @@ func (g *Generator) pickEndpoints(loc Locality) (client, server packet.Addr) {
 func (g *Generator) PlaySession(d Dialogue, client, server packet.Addr, truth packet.Label) {
 	cport := uint16(1024 + g.rng.Intn(64000))
 	sport := d.Kind.WellKnownPort()
-	plan := FrameDialogue(g.rng, d, g.handshakeRTT)
+	pp := planPool.Get().(*[]TimedPacket)
+	plan := appendDialogue((*pp)[:0], g.rng, d, g.handshakeRTT)
 	g.SessionsStarted++
 	for _, tp := range plan {
-		tp := tp
 		p := tp.Packet
 		p.Seq = g.seq.Next()
 		p.Truth = truth
@@ -173,6 +174,14 @@ func (g *Generator) PlaySession(d Dialogue, client, server packet.Addr, truth pa
 			g.emit(p)
 		})
 	}
+	// The scheduled closures capture only the packet pointers, so the
+	// plan slice itself can go straight back to the pool — cleared so it
+	// doesn't pin the packets beyond their own lifetimes.
+	for i := range plan {
+		plan[i].Packet = nil
+	}
+	*pp = plan[:0]
+	planPool.Put(pp)
 }
 
 // TimedPacket is one planned transmission: a packet without addressing,
@@ -183,12 +192,22 @@ type TimedPacket struct {
 	Packet     *packet.Packet
 }
 
+// planPool recycles the per-session framing plans PlaySession builds
+// and immediately discards; at hundreds of sessions per virtual second
+// the slice churn otherwise dominates the generator's allocations.
+var planPool = sync.Pool{New: func() any { return new([]TimedPacket) }}
+
 // FrameDialogue expands a dialogue into transport-framed timed packets:
 // TCP sessions get a three-way handshake, MSS segmentation with PSH on
 // final segments, and FIN teardown; UDP dialogues map steps directly to
 // datagrams.
 func FrameDialogue(rng *rand.Rand, d Dialogue, rtt time.Duration) []TimedPacket {
-	var plan []TimedPacket
+	return appendDialogue(nil, rng, d, rtt)
+}
+
+// appendDialogue is FrameDialogue onto a caller-owned plan slice, the
+// form the generator uses with pooled plans.
+func appendDialogue(plan []TimedPacket, rng *rand.Rand, d Dialogue, rtt time.Duration) []TimedPacket {
 	var at time.Duration
 	halfRTT := rtt / 2
 	add := func(fromClient bool, flags packet.TCPFlags, payload []byte, gap time.Duration) {

@@ -14,7 +14,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // AppKind identifies an application protocol the generators can speak.
@@ -132,15 +134,58 @@ var (
 
 func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
 
-func words(rng *rand.Rand, n int) string {
-	var b strings.Builder
+// payloadScratch pools the intermediate buffers payload synthesis
+// assembles into. The builders run once per generated packet-with-data,
+// so at high pps the strings.Builder/Sprintf intermediates they used to
+// create were a major GC load; now each builder borrows a scratch
+// buffer, appends in place, and copies out one exact-size payload.
+var payloadScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getScratch() *[]byte { return payloadScratch.Get().(*[]byte) }
+
+// finishPayload copies the assembled scratch into an exact-size payload
+// and recycles the scratch.
+func finishPayload(sp *[]byte, b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	*sp = b[:0]
+	payloadScratch.Put(sp)
+	return out
+}
+
+// appendWords appends n space-separated vocabulary words, drawing from
+// rng exactly as words() does.
+func appendWords(b []byte, rng *rand.Rand, n int) []byte {
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			b.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		b.WriteString(pick(rng, loremWords))
+		b = append(b, pick(rng, loremWords)...)
 	}
-	return b.String()
+	return b
+}
+
+// appendPadLeft appends v right-justified in a width-w field, padded
+// with the given byte (fmt's %6d / %02d / %08x shapes).
+func appendPadLeft(b []byte, v uint64, base, w int, pad byte) []byte {
+	var tmp [20]byte
+	s := strconv.AppendUint(tmp[:0], v, base)
+	for i := len(s); i < w; i++ {
+		b = append(b, pad)
+	}
+	return append(b, s...)
+}
+
+func words(rng *rand.Rand, n int) string {
+	sp := getScratch()
+	b := appendWords((*sp)[:0], rng, n)
+	s := string(b)
+	*sp = b[:0]
+	payloadScratch.Put(sp)
+	return s
 }
 
 // HTTPRequest builds a plausible HTTP/1.0 GET or POST request.
@@ -148,16 +193,38 @@ func HTTPRequest(rng *rand.Rand) []byte {
 	path := pick(rng, httpPaths)
 	host := pick(rng, httpHosts)
 	agent := pick(rng, httpAgents)
+	sp := getScratch()
+	b := (*sp)[:0]
 	if rng.Intn(5) == 0 { // occasional POST
-		body := fmt.Sprintf("item=%d&qty=%d&note=%s", rng.Intn(10000), 1+rng.Intn(9), words(rng, 3))
-		return []byte(fmt.Sprintf(
-			"POST %s HTTP/1.0\r\nHost: %s\r\nUser-Agent: %s\r\n"+
-				"Content-Type: application/x-www-form-urlencoded\r\nContent-Length: %d\r\n\r\n%s",
-			path, host, agent, len(body), body))
+		bsp := getScratch()
+		body := append((*bsp)[:0], "item="...)
+		body = strconv.AppendInt(body, int64(rng.Intn(10000)), 10)
+		body = append(body, "&qty="...)
+		body = strconv.AppendInt(body, int64(1+rng.Intn(9)), 10)
+		body = append(body, "&note="...)
+		body = appendWords(body, rng, 3)
+		b = append(b, "POST "...)
+		b = append(b, path...)
+		b = append(b, " HTTP/1.0\r\nHost: "...)
+		b = append(b, host...)
+		b = append(b, "\r\nUser-Agent: "...)
+		b = append(b, agent...)
+		b = append(b, "\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: "...)
+		b = strconv.AppendInt(b, int64(len(body)), 10)
+		b = append(b, "\r\n\r\n"...)
+		b = append(b, body...)
+		*bsp = body[:0]
+		payloadScratch.Put(bsp)
+		return finishPayload(sp, b)
 	}
-	return []byte(fmt.Sprintf(
-		"GET %s HTTP/1.0\r\nHost: %s\r\nUser-Agent: %s\r\nAccept: */*\r\n\r\n",
-		path, host, agent))
+	b = append(b, "GET "...)
+	b = append(b, path...)
+	b = append(b, " HTTP/1.0\r\nHost: "...)
+	b = append(b, host...)
+	b = append(b, "\r\nUser-Agent: "...)
+	b = append(b, agent...)
+	b = append(b, "\r\nAccept: */*\r\n\r\n"...)
+	return finishPayload(sp, b)
 }
 
 // HTTPResponse builds a plausible HTTP/1.0 response with an HTML-ish body
@@ -166,21 +233,30 @@ func HTTPResponse(rng *rand.Rand, bodyLen int) []byte {
 	if bodyLen < 16 {
 		bodyLen = 16
 	}
-	var body strings.Builder
-	body.WriteString("<html><head><title>")
-	body.WriteString(words(rng, 2))
-	body.WriteString("</title></head><body>")
-	for body.Len() < bodyLen {
-		fmt.Fprintf(&body, "<p>%s</p>", words(rng, 8))
+	bsp := getScratch()
+	body := append((*bsp)[:0], "<html><head><title>"...)
+	body = appendWords(body, rng, 2)
+	body = append(body, "</title></head><body>"...)
+	for len(body) < bodyLen {
+		body = append(body, "<p>"...)
+		body = appendWords(body, rng, 8)
+		body = append(body, "</p>"...)
 	}
-	body.WriteString("</body></html>")
+	body = append(body, "</body></html>"...)
 	status := "200 OK"
 	if rng.Intn(20) == 0 {
 		status = "404 Not Found"
 	}
-	return []byte(fmt.Sprintf(
-		"HTTP/1.0 %s\r\nServer: Apache/1.3.19 (Unix)\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n%s",
-		status, body.Len(), body.String()))
+	sp := getScratch()
+	b := append((*sp)[:0], "HTTP/1.0 "...)
+	b = append(b, status...)
+	b = append(b, "\r\nServer: Apache/1.3.19 (Unix)\r\nContent-Type: text/html\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, "\r\n\r\n"...)
+	b = append(b, body...)
+	*bsp = body[:0]
+	payloadScratch.Put(bsp)
+	return finishPayload(sp, b)
 }
 
 // SMTPExchange builds one side of an SMTP dialogue: either a client
@@ -249,14 +325,27 @@ func DNSResponse(rng *rand.Rand) []byte {
 // command or its output.
 func InteractiveKeystrokes(rng *rand.Rand, fromClient bool) []byte {
 	if fromClient {
-		return []byte(pick(rng, shellCommands) + "\n")
+		cmd := pick(rng, shellCommands)
+		out := make([]byte, 0, len(cmd)+1)
+		out = append(out, cmd...)
+		return append(out, '\n')
 	}
 	lines := 1 + rng.Intn(8)
-	var b strings.Builder
+	sp := getScratch()
+	b := (*sp)[:0]
 	for i := 0; i < lines; i++ {
-		fmt.Fprintf(&b, "%-24s %6d %s\n", pick(rng, loremWords), rng.Intn(99999), words(rng, 4))
+		w := pick(rng, loremWords)
+		b = append(b, w...)
+		for j := len(w); j < 24; j++ { // fmt's %-24s left-justified pad
+			b = append(b, ' ')
+		}
+		b = append(b, ' ')
+		b = appendPadLeft(b, uint64(rng.Intn(99999)), 10, 6, ' ')
+		b = append(b, ' ')
+		b = appendWords(b, rng, 4)
+		b = append(b, '\n')
 	}
-	return []byte(b.String())
+	return finishPayload(sp, b)
 }
 
 // ClusterRPCMagic opens every inter-node real-time message the cluster
@@ -310,11 +399,15 @@ func BulkChunk(rng *rand.Rand, n int) []byte {
 	if n <= 0 {
 		n = 1024
 	}
-	b := make([]byte, 0, n)
+	sp := getScratch()
+	b := (*sp)[:0]
 	for len(b) < n {
-		b = append(b, []byte(fmt.Sprintf("%08x %s\n", rng.Uint32(), words(rng, 6)))...)
+		b = appendPadLeft(b, uint64(rng.Uint32()), 16, 8, '0')
+		b = append(b, ' ')
+		b = appendWords(b, rng, 6)
+		b = append(b, '\n')
 	}
-	return b[:n]
+	return finishPayload(sp, b[:n])
 }
 
 // NTPPacket builds a 48-byte NTP client or server packet.
@@ -390,11 +483,22 @@ func POP3Exchange(rng *rand.Rand, step int, fromClient bool) []byte {
 	}
 }
 
+var syslogFacilities = []string{"kern", "daemon", "auth", "cron", "local0"}
+
 // SyslogMessage builds one RFC-3164-style event line.
 func SyslogMessage(rng *rand.Rand) []byte {
-	facilities := []string{"kern", "daemon", "auth", "cron", "local0"}
-	return []byte(fmt.Sprintf("<%d>node%02d %s[%d]: %s",
-		rng.Intn(191), rng.Intn(16), pick(rng, facilities), 100+rng.Intn(30000), words(rng, 6+rng.Intn(8))))
+	sp := getScratch()
+	b := append((*sp)[:0], '<')
+	b = strconv.AppendInt(b, int64(rng.Intn(191)), 10)
+	b = append(b, ">node"...)
+	b = appendPadLeft(b, uint64(rng.Intn(16)), 10, 2, '0')
+	b = append(b, ' ')
+	b = append(b, pick(rng, syslogFacilities)...)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(100+rng.Intn(30000)), 10)
+	b = append(b, "]: "...)
+	b = appendWords(b, rng, 6+rng.Intn(8))
+	return finishPayload(sp, b)
 }
 
 // RandomPayload builds n uniformly random bytes. It exists only for the

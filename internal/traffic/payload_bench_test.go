@@ -1,0 +1,56 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Payload synthesis runs once per generated data packet, so its
+// allocation behaviour sets the generator's GC load. The builders
+// borrow pooled scratch and copy out one exact-size payload each,
+// so steady state is a single allocation per call.
+
+func BenchmarkHTTPRequest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HTTPRequest(rng)
+	}
+}
+
+func BenchmarkHTTPResponse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HTTPResponse(rng, 1200)
+	}
+}
+
+func BenchmarkSyslogMessage(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SyslogMessage(rng)
+	}
+}
+
+func BenchmarkBulkChunk(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		BulkChunk(rng, 4096)
+	}
+}
+
+func BenchmarkFrameDialogue(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := BuildDialogue(rng, AppHTTP, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var plan []TimedPacket
+	for i := 0; i < b.N; i++ {
+		plan = appendDialogue(plan[:0], rng, d, 500)
+	}
+	_ = plan
+}

@@ -1,0 +1,104 @@
+// Determinism contract of the parallel evaluation pipeline: fanning an
+// evaluation out across a worker pool must not change a single byte of
+// its output. Every experiment owns its own simulation and derives its
+// RNG streams from the seed alone, so scheduling order between workers
+// carries no information — these tests pin that property.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/eval"
+	"repro/internal/products"
+	"repro/internal/report"
+)
+
+// renderEvaluations runs the full product field at the given worker
+// count and renders every scorecard report into one byte stream.
+func renderEvaluations(t *testing.T, workers int) []byte {
+	t.Helper()
+	reg := core.StandardRegistry()
+	evs, err := eval.EvaluateAll(products.All(), reg, eval.Options{Seed: 11, Quick: true, Workers: workers})
+	if err != nil {
+		t.Fatalf("EvaluateAll(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		if err := report.EvaluationReport(&buf, ev); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelEvaluationMatchesSerial is the tentpole acceptance test:
+// serial (workers=1), machine-sized (workers=0), and oversubscribed
+// (workers=8) runs of the full product matrix produce byte-identical
+// rendered reports for the same seed.
+func TestParallelEvaluationMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full product matrix ×3 is too slow for -short")
+	}
+	serial := renderEvaluations(t, 1)
+	for _, workers := range []int{0, 8} {
+		got := renderEvaluations(t, workers)
+		if !bytes.Equal(serial, got) {
+			t.Fatalf("workers=%d output differs from serial run (%d vs %d bytes)", workers, len(got), len(serial))
+		}
+	}
+}
+
+// TestParallelSweepMatchesSerial pins the same property for the
+// sensitivity sweep, whose points fan out across the pool.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	run := func(workers int) *eval.SweepResult {
+		res, err := eval.SensitivitySweep(products.StreamHunter(), eval.SweepOptions{
+			Seed: 23, Points: 5, Workers: workers,
+			TrainFor: 5 * time.Second, RunFor: 8 * time.Second, Pps: 200,
+		})
+		if err != nil {
+			t.Fatalf("SensitivitySweep(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial.EER != parallel.EER || serial.EERError != parallel.EERError || serial.EERValid != parallel.EERValid {
+		t.Fatalf("EER differs: serial %+v parallel %+v", serial, parallel)
+	}
+	if len(serial.Points) != len(parallel.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(parallel.Points))
+	}
+	for i, sp := range serial.Points {
+		pp := parallel.Points[i]
+		if sp.Sensitivity != pp.Sensitivity || sp.TypeI != pp.TypeI || sp.TypeII != pp.TypeII {
+			t.Fatalf("sweep point %d differs: serial %+v parallel %+v", i, sp, pp)
+		}
+	}
+}
+
+// TestEvaluationSharesCompiledCorpus verifies the evaluation-scale
+// consequence of the matcher cache: running the whole product field
+// compiles each distinct signature corpus at most once, no matter how
+// many engines the testbeds instantiate.
+func TestEvaluationSharesCompiledCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full product matrix is too slow for -short")
+	}
+	builds0, _ := detect.MatcherCacheStats()
+	renderEvaluations(t, 0)
+	buildsAfterFirst, _ := detect.MatcherCacheStats()
+	renderEvaluations(t, 0)
+	buildsAfterSecond, hits := detect.MatcherCacheStats()
+
+	firstRun := buildsAfterFirst - builds0
+	secondRun := buildsAfterSecond - buildsAfterFirst
+	if secondRun != 0 {
+		t.Fatalf("second identical evaluation compiled %d new automata, want 0 (first run: %d, total hits %d)",
+			secondRun, firstRun, hits)
+	}
+}
