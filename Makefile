@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot ci eval sweep traces clean
+.PHONY: all build test race bench benchhot benchtrace ci eval sweep traces clean
 
 all: build test race
 
@@ -17,12 +17,14 @@ race:
 	$(GO) test -race ./...
 
 # The full gate a change must pass before merging: clean build, vet,
-# and the whole suite under the race detector (the parallel evaluation
-# pipeline makes -race part of correctness, not an optional extra).
+# the whole suite under the race detector (the parallel evaluation
+# pipeline makes -race part of correctness, not an optional extra), and
+# the trace-decoder fuzz seeds as plain regression tests.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run Fuzz ./internal/trace/
 
 # Regenerate every table and figure of the paper.
 bench:
@@ -35,6 +37,15 @@ benchhot:
 		-benchmem -count=1 -json ./internal/detect/ ./internal/traffic/ > BENCH_hotpath.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_hotpath.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_hotpath.json"
+
+# Trace codec benchmarks (IDT2 encode/decode throughput, allocation
+# counts, and the replay live-heap comparison), captured as JSON so
+# successive runs can be diffed across commits.
+benchtrace:
+	$(GO) test -run=NONE -bench='StreamEncode|StreamDecode|StreamDecodePipelined|ReplayLiveHeap|BinaryWrite|BinaryRead' \
+		-benchmem -count=1 -json ./internal/trace/ > BENCH_trace.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_trace.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_trace.json"
 
 # The paper's full prototype evaluation (all four products, both postures).
 eval:
@@ -53,4 +64,4 @@ traces:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_trace.json

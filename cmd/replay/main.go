@@ -3,6 +3,12 @@
 // the paper's Lesson-2 methodology for observing the false negative
 // ratio.
 //
+// Both trace encodings are accepted and detected by magic: v2 ("IDT2")
+// traces stream chunk-by-chunk with a pipelined decoder and O(chunk)
+// memory; v1 ("IDTR") traces load fully in memory. Stage timings and the
+// decoded-chunk count go to stderr so stdout is byte-identical across
+// the two paths for the same records.
+//
 // Usage:
 //
 //	replay -trace trace.idtr [-product TrueSecure] [-sensitivity 0.6]
@@ -12,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -41,20 +48,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := trace.ReadBinary(f)
-	f.Close()
+	defer f.Close()
+	streaming, err := sniffIDT2(f)
 	if err != nil {
 		fatal(err)
 	}
-	s := tr.Summarize()
-	fmt.Printf("replaying %q: %d packets, %d incidents, %v span (profile %s, seed %d)\n\n",
-		*traceFile, s.Packets, s.Incidents, s.Duration.Round(time.Millisecond), tr.Profile, tr.Seed)
 
-	res, err := eval.RunTraceAccuracy(spec, tr, *sensitivity,
-		time.Duration(*trainSecs*float64(time.Second)), *seed)
-	if err != nil {
-		fatal(err)
+	var res *eval.AccuracyResult
+	var tm eval.TraceTimings
+	if streaming {
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		st, ok := rd.Stats()
+		if !ok {
+			fatal(fmt.Errorf("trace %q has no footer index", *traceFile))
+		}
+		fmt.Printf("replaying %q: %d packets, %d incidents, %v span (profile %s, seed %d)\n\n",
+			*traceFile, st.Packets, len(rd.Incidents()), st.Duration().Round(time.Millisecond),
+			rd.Profile(), rd.Seed())
+		res, err = eval.RunTraceAccuracyStream(spec, rd, *sensitivity,
+			time.Duration(*trainSecs*float64(time.Second)), *seed, &tm)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replay: streamed %d chunks: setup %v, train %v, replay %v, score %v\n",
+			tm.Chunks, tm.Setup.Round(time.Millisecond), tm.Train.Round(time.Millisecond),
+			tm.Replay.Round(time.Millisecond), tm.Score.Round(time.Millisecond))
+	} else {
+		loadStart := time.Now()
+		tr, err := trace.ReadBinary(f)
+		if err != nil {
+			fatal(err)
+		}
+		load := time.Since(loadStart)
+		s := tr.Summarize()
+		fmt.Printf("replaying %q: %d packets, %d incidents, %v span (profile %s, seed %d)\n\n",
+			*traceFile, s.Packets, s.Incidents, s.Duration.Round(time.Millisecond), tr.Profile, tr.Seed)
+		runStart := time.Now()
+		res, err = eval.RunTraceAccuracy(spec, tr, *sensitivity,
+			time.Duration(*trainSecs*float64(time.Second)), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replay: in-memory: load %v, run %v\n",
+			load.Round(time.Millisecond), time.Since(runStart).Round(time.Millisecond))
 	}
+
 	fmt.Printf("%s %s at sensitivity %.2f:\n\n", spec.Name, spec.Version, *sensitivity)
 	if err := report.AccuracySummary(os.Stdout, res); err != nil {
 		fatal(err)
@@ -63,6 +104,19 @@ func main() {
 	if err := report.IntentProfiles(os.Stdout, res.Profiles); err != nil {
 		fatal(err)
 	}
+}
+
+// sniffIDT2 reports whether f starts with the IDT2 magic, leaving the
+// offset at the start of the file.
+func sniffIDT2(f *os.File) (bool, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false, fmt.Errorf("reading %s: %w", f.Name(), err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return false, err
+	}
+	return trace.SniffStream(m[:]), nil
 }
 
 func fatal(err error) {

@@ -1,8 +1,12 @@
 // Command trafficgen generates canned evaluation traces: background
 // traffic from a site profile with the standard attack campaign layered
-// on top, written in the binary trace format (with ground-truth sidecar)
-// or as JSON lines. These are the "canned data with known attack content"
-// the paper's Lesson 2 calls for.
+// on top, written in the streaming chunked binary format IDT2 (with
+// ground-truth sidecar) or as JSON lines. These are the "canned data
+// with known attack content" the paper's Lesson 2 calls for.
+//
+// Binary output streams: packets are encoded chunk-by-chunk as the
+// simulation emits them, so generation memory is O(chunk) regardless of
+// trace length. JSON output still materializes the trace first.
 //
 // Usage:
 //
@@ -56,45 +60,8 @@ func main() {
 		profile = profile.WithRandomPayloads()
 	}
 
-	sim := simtime.New(*seed)
-	rec := trace.NewRecorder(sim, profile.Name)
-	seq := &packet.SeqCounter{}
-	eps := traffic.Endpoints{}
-	for i := 0; i < *hosts; i++ {
-		eps.Cluster = append(eps.Cluster, clusterAddr(i))
-	}
-	for i := 0; i < *external; i++ {
-		eps.External = append(eps.External, externalAddr(i))
-	}
-	gen, err := traffic.NewGenerator(sim, profile, eps, seq, rec.Emit)
-	if err != nil {
-		fatal(err)
-	}
-	if err := gen.Start(gen.SessionRateForPps(*pps)); err != nil {
-		fatal(err)
-	}
-	dur := time.Duration(*seconds * float64(time.Second))
-	var camp *attack.Campaign
-	if *withAttacks {
-		ctx := &attack.Context{Sim: sim, Rng: sim.Stream("attack"), Seq: seq, Emit: rec.Emit, Eps: eps, Gen: gen}
-		camp = attack.NewCampaign(ctx)
-		if err := camp.SpreadAcross(dur/10, dur*8/10, attack.StandardScenarios(attack.Intensity(*strength))); err != nil {
-			fatal(err)
-		}
-	}
-	sim.RunUntil(dur)
-	gen.Stop()
-	sim.Run()
-	if camp != nil {
-		rec.SetIncidents(camp.Incidents())
-	}
-
-	tr := rec.Trace()
-	s := tr.Summarize()
-	fmt.Fprintf(os.Stderr, "trace: %d packets (%d malicious) over %v, %d incidents, %.0f pps avg, %d bytes\n",
-		s.Packets, s.MaliciousPkts, s.Duration.Round(time.Millisecond), s.Incidents, s.AvgPps, s.Bytes)
-
 	var f *os.File
+	var err error
 	if *out == "-" {
 		f = os.Stdout
 	} else {
@@ -104,14 +71,84 @@ func main() {
 		}
 		defer f.Close()
 	}
+
+	sim := simtime.New(*seed)
+	var emit func(p *packet.Packet)
+	var rec *trace.Recorder          // JSON path: whole trace in memory
+	var srec *trace.StreamRecorder   // binary path: O(chunk) streaming
+	var sw *trace.Writer
 	if *asJSON {
-		err = tr.WriteJSONL(f)
+		rec = trace.NewRecorder(sim, profile.Name)
+		emit = rec.Emit
 	} else {
-		err = tr.WriteBinary(f)
+		sw, err = trace.NewWriter(f, profile.Name, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		srec = trace.NewStreamRecorder(sim, sw)
+		emit = srec.Emit
 	}
+
+	seq := &packet.SeqCounter{}
+	eps := traffic.Endpoints{}
+	for i := 0; i < *hosts; i++ {
+		eps.Cluster = append(eps.Cluster, clusterAddr(i))
+	}
+	for i := 0; i < *external; i++ {
+		eps.External = append(eps.External, externalAddr(i))
+	}
+	gen, err := traffic.NewGenerator(sim, profile, eps, seq, emit)
 	if err != nil {
 		fatal(err)
 	}
+	if err := gen.Start(gen.SessionRateForPps(*pps)); err != nil {
+		fatal(err)
+	}
+	dur := time.Duration(*seconds * float64(time.Second))
+	var camp *attack.Campaign
+	if *withAttacks {
+		ctx := &attack.Context{Sim: sim, Rng: sim.Stream("attack"), Seq: seq, Emit: emit, Eps: eps, Gen: gen}
+		camp = attack.NewCampaign(ctx)
+		if err := camp.SpreadAcross(dur/10, dur*8/10, attack.StandardScenarios(attack.Intensity(*strength))); err != nil {
+			fatal(err)
+		}
+	}
+	sim.RunUntil(dur)
+	gen.Stop()
+	sim.Run()
+
+	if *asJSON {
+		if camp != nil {
+			rec.SetIncidents(camp.Incidents())
+		}
+		tr := rec.Trace()
+		s := tr.Summarize()
+		fmt.Fprintf(os.Stderr, "trace: %d packets (%d malicious) over %v, %d incidents, %.0f pps avg, %d bytes\n",
+			s.Packets, s.MaliciousPkts, s.Duration.Round(time.Millisecond), s.Incidents, s.AvgPps, s.Bytes)
+		if err := tr.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if err := srec.Err(); err != nil {
+		fatal(err)
+	}
+	var incidents int
+	if camp != nil {
+		sw.SetIncidents(camp.Incidents())
+		incidents = len(camp.Incidents())
+	}
+	if err := sw.Close(); err != nil {
+		fatal(err)
+	}
+	s := sw.Stats()
+	avgPps := 0.0
+	if d := s.Duration(); d > 0 {
+		avgPps = float64(s.Packets) / d.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d packets (%d malicious) over %v, %d incidents, %.0f pps avg, %d bytes (%d chunks)\n",
+		s.Packets, s.MaliciousPkts, s.Duration().Round(time.Millisecond), incidents, avgPps, s.Bytes, s.Chunks)
 }
 
 func clusterAddr(i int) packet.Addr {

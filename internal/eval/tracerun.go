@@ -53,25 +53,6 @@ func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, 
 	tb.Drain()
 	tb.IDS.Flush()
 
-	// Ground truth times in the trace are relative to its own timeline;
-	// shift to the replay clock.
-	base := tr.Records[0].At
-	shifted := make([]attack.Incident, len(tr.Incidents))
-	for i, inc := range tr.Incidents {
-		inc.Start = inc.Start - base + replayStart
-		shifted[i] = inc
-	}
-
-	res, err := scoreTraceAccuracy(tb, sensitivity, shifted, tr)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// scoreTraceAccuracy mirrors scoreAccuracy but takes truth from a trace
-// sidecar and estimates |T| from the trace's conversation count.
-func scoreTraceAccuracy(tb *Testbed, sensitivity float64, truth []attack.Incident, tr *trace.Trace) (*AccuracyResult, error) {
 	// Conversations (canonical flows) approximate the trace's transaction
 	// count; the background generator's own sessions during training are
 	// excluded on purpose — the measured period is the replay.
@@ -81,6 +62,114 @@ func scoreTraceAccuracy(tb *Testbed, sensitivity float64, truth []attack.Inciden
 			convs[rec.Pk.Key().Canonical()] = true
 		}
 	}
+
+	res, err := scoreTraceAccuracy(tb, sensitivity,
+		shiftIncidents(tr.Incidents, tr.Records[0].At, replayStart), convs)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunTraceAccuracyStream is RunTraceAccuracy for a streamed IDT2 trace:
+// the testbed is sized from the stream's footer statistics, chunks are
+// decoded one ahead of the replay clock on an internal/par worker, and
+// peak memory is O(chunk) instead of O(capture). Results are identical
+// to loading the same records through RunTraceAccuracy. The reader must
+// be indexed (opened on a seekable source), since sizing and ground
+// truth are needed before the first chunk replays. When tm is non-nil,
+// per-stage wall-clock timings and the decoded-chunk count are recorded
+// into it.
+func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity float64, trainFor time.Duration, seed int64, tm *TraceTimings) (*AccuracyResult, error) {
+	st, ok := rd.Stats()
+	if !ok {
+		return nil, fmt.Errorf("eval: streaming accuracy needs an indexed trace (seekable IDT2 source)")
+	}
+	if st.Packets == 0 {
+		return nil, fmt.Errorf("eval: empty trace")
+	}
+	stage := time.Now()
+	tb, err := NewTestbed(spec, TestbedConfig{
+		Seed: seed, TrainFor: trainFor,
+		ClusterHosts: st.ClusterHosts, ExternalHosts: st.ExternalHosts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tm.lap(&tm.Setup, &stage)
+	if err := tb.Train(); err != nil {
+		return nil, err
+	}
+	if err := tb.IDS.SetSensitivity(sensitivity); err != nil {
+		return nil, err
+	}
+	tm.lap(&tm.Train, &stage)
+
+	replayStart := tb.Sim.Now()
+	convs := make(map[packet.FlowKey]bool)
+	emit := func(p *packet.Packet) {
+		if !p.Truth.Malicious {
+			convs[p.Key().Canonical()] = true
+		}
+		tb.inject(p)
+	}
+	pr := trace.NewPipelinedReader(rd, 2)
+	defer pr.Close()
+	rs, err := trace.ReplayReader(tb.Sim, pr, replayStart, 1, emit)
+	if err != nil {
+		return nil, err
+	}
+	tb.Drain()
+	if err := rs.Err(); err != nil {
+		return nil, err
+	}
+	tb.IDS.Flush()
+	tm.lap(&tm.Replay, &stage)
+	if tm != nil {
+		tm.Chunks = rd.ChunksRead()
+	}
+
+	res, err := scoreTraceAccuracy(tb, sensitivity,
+		shiftIncidents(rd.Incidents(), st.FirstAt, replayStart), convs)
+	tm.lap(&tm.Score, &stage)
+	return res, err
+}
+
+// TraceTimings reports per-stage wall-clock costs of a streaming trace
+// run, for the replay CLI's diagnostics.
+type TraceTimings struct {
+	Setup  time.Duration
+	Train  time.Duration
+	Replay time.Duration
+	Score  time.Duration
+	Chunks int
+}
+
+// lap records the time since *stage into *d and resets the stage mark;
+// a nil receiver ignores the measurement.
+func (tm *TraceTimings) lap(d *time.Duration, stage *time.Time) {
+	if tm == nil {
+		return
+	}
+	*d = time.Since(*stage)
+	*stage = time.Now()
+}
+
+// shiftIncidents rebases ground-truth times from the trace's own
+// timeline onto the replay clock.
+func shiftIncidents(incs []attack.Incident, base, replayStart time.Duration) []attack.Incident {
+	shifted := make([]attack.Incident, len(incs))
+	for i, inc := range incs {
+		inc.Start = inc.Start - base + replayStart
+		shifted[i] = inc
+	}
+	return shifted
+}
+
+// scoreTraceAccuracy mirrors scoreAccuracy but takes truth from a trace
+// sidecar and estimates |T| from the trace's conversation count (convs,
+// the canonical flow keys of the trace's clean packets).
+func scoreTraceAccuracy(tb *Testbed, sensitivity float64, truth []attack.Incident, convs map[packet.FlowKey]bool) (*AccuracyResult, error) {
 	reports := tb.IDS.Monitor().Incidents
 	res := &AccuracyResult{
 		Product:           tb.Spec.Name,

@@ -1,6 +1,9 @@
 package eval
 
 import (
+	"bytes"
+	"io"
+	"reflect"
 	"testing"
 	"time"
 
@@ -102,5 +105,58 @@ func TestTraceRoundTripThroughReplayMatchesLive(t *testing.T) {
 		if !res.ByTechnique[tech] {
 			t.Fatalf("replay lost detectability of %s", tech)
 		}
+	}
+}
+
+func TestStreamAccuracyMatchesInMemory(t *testing.T) {
+	// The streaming chunked replay path must reproduce the in-memory
+	// path's results exactly — rendered reports and all — for the same
+	// trace, product, and seeds.
+	tr := buildTrace(t, 23)
+	var enc bytes.Buffer
+	if err := tr.WriteStream(&enc); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []products.Spec{products.TrueSecure(), products.NetRecorder()} {
+		want, err := RunTraceAccuracy(spec, tr, 0.6, 6*time.Second, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := trace.NewReader(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tm TraceTimings
+		got, err := RunTraceAccuracyStream(spec, rd, 0.6, 6*time.Second, 11, &tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.Chunks == 0 {
+			t.Fatal("streaming run decoded no chunks")
+		}
+		// Field-for-field equality: every count, ratio, technique flag,
+		// and intent profile must match, so any downstream report renders
+		// byte-identically from either path.
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: streaming result differs from in-memory:\nin-memory: %+v\nstreaming: %+v",
+				spec.Name, want, got)
+		}
+	}
+}
+
+func TestStreamAccuracyRequiresIndex(t *testing.T) {
+	tr := buildTrace(t, 23)
+	var enc bytes.Buffer
+	if err := tr.WriteStream(&enc); err != nil {
+		t.Fatal(err)
+	}
+	// A non-seekable source has no footer index up front; the streaming
+	// runner must refuse it rather than silently degrade.
+	rd, err := trace.NewReader(io.MultiReader(bytes.NewReader(enc.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTraceAccuracyStream(products.TrueSecure(), rd, 0.6, time.Second, 11, nil); err == nil {
+		t.Fatal("unindexed source accepted")
 	}
 }

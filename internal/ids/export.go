@@ -1,0 +1,38 @@
+package ids
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// ExportRecordings writes every session recording as one IDT2 trace —
+// the playback half of the Session Recording and Playback capability in
+// a form the replay tooling understands. Packets from all recorded
+// flows merge onto a single timeline ordered by (send time, sequence)
+// and are encoded chunk-by-chunk through the streaming trace writer, so
+// export memory beyond the recordings themselves is O(chunk).
+func (s *IDS) ExportRecordings(w io.Writer, profile string) error {
+	var pkts []*packet.Packet
+	for _, rec := range s.Recordings() {
+		pkts = append(pkts, rec.Packets...)
+	}
+	sort.SliceStable(pkts, func(i, j int) bool {
+		if pkts[i].Sent != pkts[j].Sent {
+			return pkts[i].Sent < pkts[j].Sent
+		}
+		return pkts[i].Seq < pkts[j].Seq
+	})
+	tw, err := trace.NewWriter(w, profile, s.sim.Seed())
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if err := tw.Append(p.Sent, p); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

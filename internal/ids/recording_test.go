@@ -1,11 +1,14 @@
 package ids
 
 import (
+	"bytes"
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/detect"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 func recordingIDS(t *testing.T, budget int) (*simtime.Sim, *IDS) {
@@ -203,5 +206,64 @@ func TestRecordingClonesPackets(t *testing.T) {
 	rec := s.Recordings()[0]
 	if string(rec.Packets[0].Payload) != "original" {
 		t.Fatal("recording shares storage with live packet")
+	}
+}
+
+func TestExportRecordingsWritesStreamTrace(t *testing.T) {
+	sim, s := recordingIDS(t, 0)
+	// Two alerting flows from distinct attackers, captured at distinct
+	// virtual times so the export has a real timeline.
+	sim.MustSchedule(time.Second, func() {
+		s.Ingest(attackPkt(1))
+	})
+	sim.MustSchedule(2*time.Second, func() {
+		p := attackPkt(1)
+		p.Payload = []byte("follow-up")
+		p.Sent = sim.Now()
+		s.Ingest(p)
+	})
+	sim.MustSchedule(3*time.Second, func() {
+		s.Ingest(attackPkt(2))
+	})
+	sim.Run()
+	if len(s.Recordings()) != 2 {
+		t.Fatalf("%d recordings, want 2", len(s.Recordings()))
+	}
+
+	var buf bytes.Buffer
+	if err := s.ExportRecordings(&buf, "forensics"); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Profile() != "forensics" {
+		t.Fatalf("profile %q", rd.Profile())
+	}
+	var total int
+	for _, rec := range s.Recordings() {
+		total += len(rec.Packets)
+	}
+	st, ok := rd.Stats()
+	if !ok || st.Packets != uint64(total) {
+		t.Fatalf("exported %d packets, recordings hold %d", st.Packets, total)
+	}
+	var lastSent time.Duration
+	for {
+		c, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range c.Records {
+			if r.Pk.Sent < lastSent {
+				t.Fatal("export timeline out of order")
+			}
+			lastSent = r.Pk.Sent
+		}
+		c.Release()
 	}
 }

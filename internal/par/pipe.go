@@ -1,0 +1,82 @@
+// Pipe is the package's single-producer prefetch stage: one background
+// worker runs a produce function ahead of a consumer, keeping up to
+// depth results buffered. It is the decode half of producer/consumer
+// pipelines (the trace reader decodes chunk N+1 on a Pipe worker while
+// the simulation replays chunk N), sharing package par's discipline:
+// bounded buffering, a single worker so production order is the call
+// order, and a sticky terminal error.
+package par
+
+import (
+	"io"
+	"sync"
+)
+
+// pipeResult pairs one produced value with its error.
+type pipeResult[T any] struct {
+	v   T
+	err error
+}
+
+// Pipe runs produce on one background goroutine, buffering up to depth
+// results ahead of Next. The first error produce returns (io.EOF
+// included) is terminal: it is delivered in order after the values that
+// preceded it, the worker exits, and every later Next repeats it.
+type Pipe[T any] struct {
+	ch   chan pipeResult[T]
+	stop chan struct{}
+	once sync.Once
+	// fin is the terminal error to repeat once ch drains.
+	fin error
+}
+
+// NewPipe starts the worker. depth < 1 is treated as 1.
+func NewPipe[T any](depth int, produce func() (T, error)) *Pipe[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pipe[T]{
+		ch:   make(chan pipeResult[T], depth),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.ch)
+		for {
+			v, err := produce()
+			select {
+			case p.ch <- pipeResult[T]{v: v, err: err}:
+			case <-p.stop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Next returns the next produced value in production order. After the
+// producer's terminal error has been delivered, Next keeps returning it
+// (io.EOF for a Stopped pipe that ended without error).
+func (p *Pipe[T]) Next() (T, error) {
+	r, ok := <-p.ch
+	if !ok {
+		var zero T
+		if p.fin == nil {
+			p.fin = io.EOF
+		}
+		return zero, p.fin
+	}
+	if r.err != nil {
+		p.fin = r.err
+	}
+	return r.v, r.err
+}
+
+// Stop terminates the worker without draining. Buffered results are
+// discarded; a produce call already in flight runs to completion. Stop
+// is idempotent and safe to call concurrently with Next.
+func (p *Pipe[T]) Stop() {
+	p.once.Do(func() { close(p.stop) })
+}

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPipeDeliversInOrder(t *testing.T) {
+	n := 0
+	p := NewPipe(3, func() (int, error) {
+		n++
+		if n > 5 {
+			return 0, io.EOF
+		}
+		return n, nil
+	})
+	for want := 1; want <= 5; want++ {
+		v, err := p.Next()
+		if err != nil {
+			t.Fatalf("value %d: %v", want, err)
+		}
+		if v != want {
+			t.Fatalf("got %d, want %d", v, want)
+		}
+	}
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("got %v, want EOF", err)
+	}
+	// Terminal error is sticky.
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("repeat Next: got %v, want EOF", err)
+	}
+}
+
+func TestPipeErrorAfterValues(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	p := NewPipe(1, func() (int, error) {
+		n++
+		if n == 3 {
+			return 0, boom
+		}
+		return n, nil
+	})
+	for want := 1; want <= 2; want++ {
+		v, err := p.Next()
+		if err != nil || v != want {
+			t.Fatalf("value %d: got %d, %v", want, v, err)
+		}
+	}
+	if _, err := p.Next(); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if _, err := p.Next(); err != boom {
+		t.Fatalf("sticky: got %v, want boom", err)
+	}
+	if n != 3 {
+		t.Fatalf("producer called %d times, want 3 (stopped at error)", n)
+	}
+}
+
+func TestPipeStopUnblocksProducer(t *testing.T) {
+	var calls atomic.Int64
+	p := NewPipe(1, func() (int, error) {
+		return int(calls.Add(1)), nil
+	})
+	// Let the producer fill its buffer and block on the channel send.
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	// The worker must exit: the call count settles. Allow the in-flight
+	// produce to finish first.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		before := calls.Load()
+		time.Sleep(20 * time.Millisecond)
+		if calls.Load() == before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("producer kept running after Stop")
+		}
+	}
+}
+
+func TestPipeStoppedPipeReturnsEOF(t *testing.T) {
+	p := NewPipe(1, func() (int, error) {
+		time.Sleep(time.Millisecond)
+		return 1, nil
+	})
+	p.Stop()
+	// Drain whatever was buffered before the stop landed; the channel
+	// closes and Next settles on EOF.
+	for i := 0; i < 10; i++ {
+		if _, err := p.Next(); err == io.EOF {
+			return
+		}
+	}
+	t.Fatal("Next never returned EOF after Stop")
+}
+
+func TestPipeDepthClamp(t *testing.T) {
+	p := NewPipe(0, func() (int, error) { return 0, io.EOF })
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("got %v, want EOF", err)
+	}
+}

@@ -250,9 +250,15 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a binary trace.
+// ReadBinary parses a binary trace in either encoding, detecting the v1
+// ("IDTR") and v2 ("IDT2") formats by magic. The whole trace is
+// materialized in memory; use NewReader for O(chunk) streaming of v2
+// traces.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
+	if m, err := br.Peek(4); err == nil && binary.BigEndian.Uint32(m) == magic2 {
+		return readStreamAll(br)
+	}
 	hdr := make([]byte, 16)
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("trace: header: %w", err)
@@ -267,6 +273,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	const maxRecords = 1 << 28
 	if n > maxRecords {
 		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	// A record is at least 44 bytes on the wire; when the source's total
+	// size is knowable (in-memory readers, seekable files), a count that
+	// could not possibly fit the remaining input is rejected before any
+	// allocation is sized from it.
+	const minRecordLen = 44
+	if rem, ok := remainingBytes(br, r); ok && n > uint64(rem)/minRecordLen+1 {
+		return nil, fmt.Errorf("trace: record count %d exceeds remaining input (%d bytes)", n, rem)
 	}
 	readStr := func() (string, error) {
 		var lb [2]byte
@@ -290,7 +304,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	}
 	t.Seed = int64(binary.BigEndian.Uint64(seedBuf[:]))
 	rec := make([]byte, 40)
-	t.Records = make([]Record, 0, n)
+	// Preallocation is capped so a corrupt count cannot demand gigabytes
+	// up front; the slice grows normally past the cap.
+	t.Records = make([]Record, 0, minU64(n, 1<<16))
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
@@ -365,6 +381,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 // jsonRecord is the JSONL wire form of one record.
 type jsonRecord struct {
 	AtNs      int64  `json:"at_ns"`
+	SentNs    int64  `json:"sent_ns,omitempty"`
 	Seq       uint64 `json:"seq"`
 	Src       string `json:"src"`
 	Dst       string `json:"dst"`
@@ -387,7 +404,7 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 	for _, r := range t.Records {
 		p := r.Pk
 		jr := jsonRecord{
-			AtNs: int64(r.At), Seq: p.Seq,
+			AtNs: int64(r.At), SentNs: int64(p.Sent), Seq: p.Seq,
 			Src: p.Src.String(), Dst: p.Dst.String(),
 			SrcPort: p.SrcPort, DstPort: p.DstPort,
 			Proto: uint8(p.Proto), TTL: p.TTL, Payload: p.Payload,

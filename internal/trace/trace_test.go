@@ -271,7 +271,7 @@ func BenchmarkBinaryRead(b *testing.B) {
 	}
 }
 
-func sampleTraceForBench(b *testing.B) *Trace {
+func sampleTraceForBench(b testing.TB) *Trace {
 	b.Helper()
 	sim := simtime.New(21)
 	rec := NewRecorder(sim, "bench")
