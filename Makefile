@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchtrace ci eval sweep traces clean
+.PHONY: all build test race bench benchhot benchtrace benchobs ci eval sweep traces clean
 
 all: build test race
 
@@ -18,13 +18,17 @@ race:
 
 # The full gate a change must pass before merging: clean build, vet,
 # the whole suite under the race detector (the parallel evaluation
-# pipeline makes -race part of correctness, not an optional extra), and
-# the trace-decoder fuzz seeds as plain regression tests.
+# pipeline makes -race part of correctness, not an optional extra), the
+# trace-decoder fuzz seeds as plain regression tests, and the telemetry
+# invariants — concurrent registry use under -race and the determinism
+# guard (telemetry on == telemetry off, byte for byte).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run Fuzz ./internal/trace/
+	$(GO) test -race -run 'ConcurrentRegistryUse|DisabledPathAllocFree' ./internal/obs/
+	$(GO) test -race -run 'TelemetryDeterminism|ReplayStdout' ./internal/eval/
 
 # Regenerate every table and figure of the paper.
 bench:
@@ -47,6 +51,16 @@ benchtrace:
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_trace.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_trace.json"
 
+# Telemetry-overhead benchmarks: the disabled (nil-instrument) path must
+# stay at a few ns/op with zero allocations — the contract that lets
+# instrumentation live permanently in simulation hot paths. Captured as
+# JSON so successive runs can be diffed across commits.
+benchobs:
+	$(GO) test -run=NONE -bench='CounterInc|GaugeUpdate|HistogramObserve|Span|Snapshot' \
+		-benchmem -count=1 -json ./internal/obs/ > BENCH_obs.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_obs.json"
+
 # The paper's full prototype evaluation (all four products, both postures).
 eval:
 	$(GO) run ./cmd/idseval -posture realtime
@@ -64,4 +78,4 @@ traces:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_trace.json
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_trace.json BENCH_obs.json

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/products"
 	"repro/internal/report"
 )
@@ -28,8 +29,14 @@ func main() {
 	csvFile := flag.String("csv", "", "also write the series as CSV")
 	quick := flag.Bool("quick", false, "shrink run durations")
 	workers := flag.Int("workers", 0, "worker-pool bound (0 = all cores, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 	spec, ok := products.Find(*productName)
 	if !ok {
 		fatal(fmt.Errorf("unknown product %q", *productName))
@@ -60,6 +67,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nCSV written to %s\n", *csvFile)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/products"
 	"repro/internal/report"
 	"repro/internal/requirements"
@@ -36,7 +37,16 @@ func main() {
 	posture := flag.String("posture", "realtime", "weighting posture: realtime, distributed, uniform")
 	product := flag.String("product", "", "evaluate only the named product")
 	tables := flag.Bool("tables", false, "print the Table 1-3 metric definitions and exit")
+	telemetry := flag.Bool("telemetry", false, "collect telemetry and dump it (Prometheus text) to stderr; stdout is unaffected")
+	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file (implies collection)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 
 	reg := core.StandardRegistry()
 	out := os.Stdout
@@ -47,6 +57,9 @@ func main() {
 				fatal(err)
 			}
 			fmt.Fprintln(out)
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -63,7 +76,10 @@ func main() {
 	fmt.Fprintf(out, "Evaluating %d product(s) against the %d-metric standard (seed %d, quick=%v)\n\n",
 		len(field), reg.Len(), *seed, *quick)
 
-	evs, err := eval.EvaluateAll(field, reg, eval.Options{Seed: *seed, Quick: *quick, Workers: *workers})
+	collect := *telemetry || *telemetryJSONL != ""
+	evs, err := eval.EvaluateAll(field, reg, eval.Options{
+		Seed: *seed, Quick: *quick, Workers: *workers, Telemetry: collect,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -144,6 +160,51 @@ func main() {
 				stab.BaseWinner, stab.WinShare[stab.BaseWinner]*100)
 		}
 	}
+
+	// Telemetry export goes to stderr / files only: stdout above is
+	// byte-identical whether collection was on or off.
+	if collect {
+		if err := dumpTelemetry(evs, *telemetry, *telemetryJSONL); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+// dumpTelemetry merges per-product snapshots (prefixed by product name)
+// and exports them: human summary + Prometheus text on stderr when prom
+// is set, JSONL to jsonlPath when non-empty.
+func dumpTelemetry(evs []*eval.ProductEvaluation, prom bool, jsonlPath string) error {
+	merged := &obs.Snapshot{}
+	for _, ev := range evs {
+		if prom {
+			if err := report.TelemetrySummary(os.Stderr, ev.Telemetry); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		merged.Merge(ev.Snapshot.Prefixed(ev.Spec.Name + "."))
+	}
+	if prom {
+		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
+		if err := merged.WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := merged.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/products"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -34,6 +35,10 @@ func main() {
 	sensitivity := flag.Float64("sensitivity", 0.6, "detection sensitivity in [0,1]")
 	trainSecs := flag.Float64("train", 15, "clean-baseline training seconds before replay")
 	seed := flag.Int64("seed", 11, "testbed seed")
+	telemetry := flag.Bool("telemetry", false, "dump the telemetry snapshot (Prometheus text) to stderr")
+	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *traceFile == "" {
@@ -42,6 +47,10 @@ func main() {
 	spec, ok := products.Find(*productName)
 	if !ok {
 		fatal(fmt.Errorf("unknown product %q", *productName))
+	}
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
 	}
 
 	f, err := os.Open(*traceFile)
@@ -54,8 +63,16 @@ func main() {
 		fatal(err)
 	}
 
+	// One registry carries the whole run: stage spans (always shown on
+	// stderr, as before), plus decoder/pipeline instrumentation exported
+	// when -telemetry asks for it. Telemetry never touches stdout.
+	reg := obs.NewRegistry()
+	dur := func(name string) time.Duration {
+		d, _ := reg.SpanDur(name)
+		return d.Round(time.Millisecond)
+	}
+
 	var res *eval.AccuracyResult
-	var tm eval.TraceTimings
 	if streaming {
 		rd, err := trace.NewReader(f)
 		if err != nil {
@@ -69,31 +86,32 @@ func main() {
 			*traceFile, st.Packets, len(rd.Incidents()), st.Duration().Round(time.Millisecond),
 			rd.Profile(), rd.Seed())
 		res, err = eval.RunTraceAccuracyStream(spec, rd, *sensitivity,
-			time.Duration(*trainSecs*float64(time.Second)), *seed, &tm)
+			time.Duration(*trainSecs*float64(time.Second)), *seed, reg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "replay: streamed %d chunks: setup %v, train %v, replay %v, score %v\n",
-			tm.Chunks, tm.Setup.Round(time.Millisecond), tm.Train.Round(time.Millisecond),
-			tm.Replay.Round(time.Millisecond), tm.Score.Round(time.Millisecond))
+			rd.ChunksRead(), dur("replay.setup"), dur("replay.train"),
+			dur("replay.replay"), dur("replay.score"))
 	} else {
-		loadStart := time.Now()
+		sp := reg.StartSpan("replay.load")
 		tr, err := trace.ReadBinary(f)
 		if err != nil {
 			fatal(err)
 		}
-		load := time.Since(loadStart)
+		sp.End()
 		s := tr.Summarize()
 		fmt.Printf("replaying %q: %d packets, %d incidents, %v span (profile %s, seed %d)\n\n",
 			*traceFile, s.Packets, s.Incidents, s.Duration.Round(time.Millisecond), tr.Profile, tr.Seed)
-		runStart := time.Now()
+		sp = reg.StartSpan("replay.run")
 		res, err = eval.RunTraceAccuracy(spec, tr, *sensitivity,
 			time.Duration(*trainSecs*float64(time.Second)), *seed)
 		if err != nil {
 			fatal(err)
 		}
+		sp.End()
 		fmt.Fprintf(os.Stderr, "replay: in-memory: load %v, run %v\n",
-			load.Round(time.Millisecond), time.Since(runStart).Round(time.Millisecond))
+			dur("replay.load"), dur("replay.run"))
 	}
 
 	fmt.Printf("%s %s at sensitivity %.2f:\n\n", spec.Name, spec.Version, *sensitivity)
@@ -104,6 +122,36 @@ func main() {
 	if err := report.IntentProfiles(os.Stdout, res.Profiles); err != nil {
 		fatal(err)
 	}
+
+	if err := dumpTelemetry(reg.Snapshot(), *telemetry, *telemetryJSONL); err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+// dumpTelemetry exports a snapshot per the -telemetry flags: Prometheus
+// text to stderr, JSONL to a file.
+func dumpTelemetry(snap *obs.Snapshot, prom bool, jsonlPath string) error {
+	if prom {
+		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
+		if err := snap.WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // sniffIDT2 reports whether f starts with the IDT2 magic, leaving the

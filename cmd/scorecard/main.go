@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/requirements"
 )
@@ -26,7 +27,19 @@ func main() {
 	posture := flag.String("posture", "", "built-in posture instead of a file: realtime or distributed")
 	example := flag.Bool("example", false, "print the Figure-6 worked example and exit")
 	emitPosture := flag.String("emit-posture", "", "write the named posture as requirements JSON to stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	reg := core.StandardRegistry()
 
@@ -58,7 +71,6 @@ func main() {
 	}
 
 	var set *requirements.Set
-	var err error
 	switch {
 	case *reqFile != "":
 		f, err := os.Open(*reqFile)

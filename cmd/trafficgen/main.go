@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -40,11 +41,20 @@ func main() {
 	asJSON := flag.Bool("json", false, "write JSON lines instead of binary")
 	hosts := flag.Int("hosts", 6, "cluster host count")
 	external := flag.Int("external", 3, "external host count")
+	telemetry := flag.Bool("telemetry", false, "dump generation telemetry (Prometheus text) to stderr")
+	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *out == "" {
 		fatal(fmt.Errorf("-o is required"))
 	}
+	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	reg := obs.NewRegistry()
 	var profile traffic.Profile
 	switch *profileName {
 	case "ecommerce":
@@ -61,7 +71,6 @@ func main() {
 	}
 
 	var f *os.File
-	var err error
 	if *out == "-" {
 		f = os.Stdout
 	} else {
@@ -74,8 +83,8 @@ func main() {
 
 	sim := simtime.New(*seed)
 	var emit func(p *packet.Packet)
-	var rec *trace.Recorder          // JSON path: whole trace in memory
-	var srec *trace.StreamRecorder   // binary path: O(chunk) streaming
+	var rec *trace.Recorder        // JSON path: whole trace in memory
+	var srec *trace.StreamRecorder // binary path: O(chunk) streaming
 	var sw *trace.Writer
 	if *asJSON {
 		rec = trace.NewRecorder(sim, profile.Name)
@@ -113,9 +122,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	sp := reg.StartSpan("trafficgen.generate")
 	sim.RunUntil(dur)
 	gen.Stop()
 	sim.Run()
+	sp.End()
 
 	if *asJSON {
 		if camp != nil {
@@ -128,6 +139,8 @@ func main() {
 		if err := tr.WriteJSONL(f); err != nil {
 			fatal(err)
 		}
+		publishTraceStats(reg, uint64(s.Packets), uint64(s.MaliciousPkts), uint64(s.Bytes), 0)
+		finish(reg, *telemetry, *telemetryJSONL, stopProf)
 		return
 	}
 
@@ -149,6 +162,44 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "trace: %d packets (%d malicious) over %v, %d incidents, %.0f pps avg, %d bytes (%d chunks)\n",
 		s.Packets, s.MaliciousPkts, s.Duration().Round(time.Millisecond), incidents, avgPps, s.Bytes, s.Chunks)
+	publishTraceStats(reg, s.Packets, s.MaliciousPkts, s.Bytes, s.Chunks)
+	finish(reg, *telemetry, *telemetryJSONL, stopProf)
+}
+
+// publishTraceStats records the final trace shape as gauges so the
+// telemetry dump carries the same numbers the stderr summary prints.
+func publishTraceStats(reg *obs.Registry, packets, malicious, bytes uint64, chunks int) {
+	reg.Gauge("trafficgen.packets").Set(int64(packets))
+	reg.Gauge("trafficgen.malicious").Set(int64(malicious))
+	reg.Gauge("trafficgen.bytes").Set(int64(bytes))
+	reg.Gauge("trafficgen.chunks").Set(int64(chunks))
+}
+
+// finish exports telemetry per the flags and stops any profiles.
+func finish(reg *obs.Registry, prom bool, jsonlPath string, stopProf func() error) {
+	snap := reg.Snapshot()
+	if prom {
+		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
+		if err := snap.WritePrometheus(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonlPath != "" {
+		jf, err := os.Create(jsonlPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WriteJSONL(jf); err != nil {
+			jf.Close()
+			fatal(err)
+		}
+		if err := jf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 }
 
 func clusterAddr(i int) packet.Addr {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // The compiled-artifact cache. Building the Aho–Corasick automaton is
@@ -43,6 +45,19 @@ var (
 // the artifact is compiled once and shared.
 func MatcherCacheStats() (builds, hits uint64) {
 	return matcherCacheBuilds.Load(), matcherCacheHits.Load()
+}
+
+// PublishCacheMetrics copies the process-wide matcher-cache counters
+// into reg as gauges under "detect.matcher_cache." (gauges, not
+// counters, because the cache is process-global and a registry may be
+// snapshotted more than once). No-op on a nil registry.
+func PublishCacheMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	builds, hits := MatcherCacheStats()
+	reg.Gauge("detect.matcher_cache.builds").Set(int64(builds))
+	reg.Gauge("detect.matcher_cache.hits").Set(int64(hits))
 }
 
 // corpusFingerprint hashes a pattern corpus with FNV-1a, framing each

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // AccuracyResult holds the Figure-3 accuracy observations for one run.
@@ -36,9 +37,17 @@ type AccuracyResult struct {
 	// DetectionRate is 1−MissRate.
 	DetectionRate float64
 
-	// Timeliness.
+	// Timeliness. The percentiles are histogram-backed (see delayStats):
+	// the same estimator the telemetry subsystem exports, computed from
+	// detection delays on the sim clock.
 	MeanDetectionDelay time.Duration
 	MaxDetectionDelay  time.Duration
+	DelayP50           time.Duration
+	DelayP95           time.Duration
+	DelayP99           time.Duration
+	// DelayHist is the full detection-delay distribution (nil when
+	// nothing was detected).
+	DelayHist *obs.HistSnap
 
 	// ByTechnique maps technique -> detected? for the report.
 	ByTechnique map[string]bool
@@ -54,6 +63,14 @@ type AccuracyResult struct {
 	SensorFailures int
 	StorageBytes   uint64
 	IngestedBytes  uint64
+	// Telemetry-grade pipeline quantities (see eval.Telemetry).
+	TapDrops      uint64 // mirror-link losses (packets the IDS never saw)
+	IngestedPkts  uint64
+	ProcessedPkts uint64
+	Notifications int
+	// SensorBusy is summed engine processing time (sim clock), the
+	// denominator of scan throughput.
+	SensorBusy time.Duration
 
 	// TruthIncidents retains the ground truth the run was scored
 	// against, for downstream experiments (human dimension, reports).
@@ -201,6 +218,7 @@ func scoreAccuracy(tb *Testbed, sensitivity float64, camp *attack.Campaign) (*Ac
 		}
 		res.MeanDetectionDelay = sum / time.Duration(len(delays))
 	}
+	res.DelayP50, res.DelayP95, res.DelayP99, res.DelayHist = delayStats(delays)
 
 	if c := tb.IDS.Console(); c != nil {
 		res.FirewallBlocks = len(c.Firewall.BlockEvents)
@@ -213,6 +231,11 @@ func scoreAccuracy(tb *Testbed, sensitivity float64, camp *attack.Campaign) (*Ac
 	res.SensorFailures = st.SensorFailures
 	res.StorageBytes = st.StorageBytes
 	res.IngestedBytes = tb.Gen.BytesEmitted
+	res.TapDrops = tb.MirrorDrops()
+	res.IngestedPkts = st.Ingested
+	res.ProcessedPkts = st.Processed
+	res.Notifications = st.Notifications
+	res.SensorBusy = st.SensorBusy
 	res.Profiles = tb.IDS.Monitor().IntentReport()
 	return res, nil
 }

@@ -4,13 +4,17 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/products"
 	"repro/internal/simtime"
 	"repro/internal/traffic"
 )
 
-// LatencyResult holds the Induced Traffic Latency observation.
+// LatencyResult holds the Induced Traffic Latency observation. Beyond
+// the mean, each path carries histogram-backed tail percentiles — the
+// quantity that matters for the paper's distributed real-time setting,
+// where a deadline miss is a p99 event, not a mean event.
 type LatencyResult struct {
 	Product string
 	Tap     TapMode
@@ -18,25 +22,39 @@ type LatencyResult struct {
 	BaselineMean time.Duration
 	// WithIDSMean is the same path with the IDS attached.
 	WithIDSMean time.Duration
-	// Induced is the difference (clamped at zero).
+	// Induced is the difference of means (clamped at zero).
 	Induced time.Duration
 	// Probes is the measurement sample count.
 	Probes int
+
+	// Histogram-backed percentiles per path (sim time).
+	BaselineP50, BaselineP95, BaselineP99 time.Duration
+	WithIDSP50, WithIDSP95, WithIDSP99    time.Duration
+	// InducedP95 is the p95 difference (clamped at zero) — the tail view
+	// of the induced cost.
+	InducedP95 time.Duration
+
+	// BaselineHist and WithIDSHist are the full probe distributions, for
+	// telemetry export.
+	BaselineHist, WithIDSHist *obs.HistSnap
 }
 
 // latencyProbeCount balances precision against run time.
 const latencyProbeCount = 200
 
 // measurePathLatency sends probe packets external->cluster through the
-// given topology and returns the mean delivery latency.
-func measurePathLatency(sim *simtime.Sim, top *netsim.Topology, probes int) time.Duration {
+// given topology, records each delivery latency into h, and returns the
+// mean.
+func measurePathLatency(sim *simtime.Sim, top *netsim.Topology, probes int, h *obs.Histogram) time.Duration {
 	src := top.External[0]
 	dst := top.Cluster[0]
 	var total time.Duration
 	var delivered int
 	dst.OnPacket = func(p *packet.Packet) {
 		if p.DstPort == 9999 { // probe marker port
-			total += sim.Now() - p.Sent
+			d := sim.Now() - p.Sent
+			total += d
+			h.Observe(int64(d))
 			delivered++
 		}
 	}
@@ -67,10 +85,16 @@ func MeasureInducedLatency(spec products.Spec, tap TapMode, seed int64) (*Latenc
 	if err := validateTapMode(tap); err != nil {
 		return nil, err
 	}
+	// The probe distributions are measurement-level telemetry: always
+	// collected (independent of any -telemetry flag) so the percentile
+	// fields below are part of the deterministic result.
+	hBase := obs.NewHistogram("eval.path_latency.baseline_ns", obs.ClockSim, nil)
+	hIDS := obs.NewHistogram("eval.path_latency.with_ids_ns", obs.ClockSim, nil)
+
 	// Baseline topology, no IDS.
 	simBase := simtime.New(seed)
 	topBase := netsim.BuildTopology(simBase, netsim.TopologyConfig{ClusterHosts: 2, ExternalHosts: 1})
-	baseline := measurePathLatency(simBase, topBase, latencyProbeCount)
+	baseline := measurePathLatency(simBase, topBase, latencyProbeCount, hBase)
 
 	// Same topology with the product tapped.
 	tb, err := NewTestbed(spec, TestbedConfig{
@@ -80,15 +104,25 @@ func MeasureInducedLatency(spec products.Spec, tap TapMode, seed int64) (*Latenc
 	if err != nil {
 		return nil, err
 	}
-	withIDS := measurePathLatency(tb.Sim, tb.Top, latencyProbeCount)
+	withIDS := measurePathLatency(tb.Sim, tb.Top, latencyProbeCount, hIDS)
 
 	res := &LatencyResult{
 		Product: spec.Name, Tap: tap,
 		BaselineMean: baseline, WithIDSMean: withIDS,
-		Probes: latencyProbeCount,
+		Probes:       latencyProbeCount,
+		BaselineHist: hBase.Snap(), WithIDSHist: hIDS.Snap(),
 	}
 	if withIDS > baseline {
 		res.Induced = withIDS - baseline
+	}
+	res.BaselineP50 = res.BaselineHist.QuantileDuration(0.5)
+	res.BaselineP95 = res.BaselineHist.QuantileDuration(0.95)
+	res.BaselineP99 = res.BaselineHist.QuantileDuration(0.99)
+	res.WithIDSP50 = res.WithIDSHist.QuantileDuration(0.5)
+	res.WithIDSP95 = res.WithIDSHist.QuantileDuration(0.95)
+	res.WithIDSP99 = res.WithIDSHist.QuantileDuration(0.99)
+	if res.WithIDSP95 > res.BaselineP95 {
+		res.InducedP95 = res.WithIDSP95 - res.BaselineP95
 	}
 	return res, nil
 }

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/products"
 )
@@ -279,6 +281,12 @@ type Options struct {
 	// derives its RNG streams from Seed alone, both settings produce
 	// bit-identical scorecards.
 	Workers int
+	// Telemetry wires an obs registry through the accuracy testbed and
+	// assembles the exportable Snapshot on each ProductEvaluation.
+	// Telemetry observes and never perturbs: scorecards and results are
+	// bit-identical with it on or off (the determinism guard test pins
+	// this).
+	Telemetry bool
 }
 
 // ProductEvaluation bundles a product's complete scorecard with the raw
@@ -292,6 +300,13 @@ type ProductEvaluation struct {
 	Impact     *ImpactResult
 	Sweep      *SweepResult
 	Compromise *CompromiseResult
+	// Telemetry is the scorecard-grade performance summary, always
+	// derived from the results above.
+	Telemetry *Telemetry
+	// Snapshot is the full exportable telemetry dump (component
+	// instrumentation + scorecard gauges + measurement histograms).
+	// Nil unless Options.Telemetry was set.
+	Snapshot *obs.Snapshot
 }
 
 // EvaluateProduct runs every experiment against one product and fills a
@@ -315,10 +330,18 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 	}
 	ev := &ProductEvaluation{Spec: spec, Card: card}
 
+	// Component instrumentation rides the accuracy testbed (the run with
+	// a full pipeline under attack load). Only the export dump depends
+	// on this registry — never a result field.
+	var accReg *obs.Registry
+	if opts.Telemetry {
+		accReg = obs.NewRegistry()
+	}
+
 	experiments := []func() error{
 		// Accuracy + timeliness + response + compromise (one big run).
 		func() error {
-			accCfg := TestbedConfig{Seed: opts.Seed}
+			accCfg := TestbedConfig{Seed: opts.Seed, Obs: accReg}
 			attackFor := 45 * time.Second
 			strength := attack.Intensity(1)
 			if opts.Quick {
@@ -402,6 +425,17 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 	if err := ev.fillMeasuredScores(); err != nil {
 		return nil, err
 	}
+
+	ev.Telemetry = BuildTelemetry(ev)
+	if opts.Telemetry {
+		top := obs.NewRegistry()
+		ev.Telemetry.Publish(top)
+		detect.PublishCacheMetrics(top)
+		snap := top.Snapshot()
+		snap.Hists = append(snap.Hists, ev.measurementHists()...)
+		snap.Merge(accReg.Snapshot().Prefixed("accuracy."))
+		ev.Snapshot = snap
+	}
 	return ev, nil
 }
 
@@ -448,7 +482,7 @@ func (ev *ProductEvaluation) fillMeasuredScores() error {
 		{core.MFirewallInteraction, ScoreResponseChannel(hasConsole, policyHas(ids.ActionFirewallBlock), acc.FirewallBlocks, acc.FilteredPackets > 0),
 			fmt.Sprintf("%d blocks, %d packets filtered", acc.FirewallBlocks, acc.FilteredPackets)},
 		{core.MInducedLatency, ScoreInducedLatency(lat.Induced),
-			fmt.Sprintf("induced %v (%v tap)", lat.Induced, lat.Tap)},
+			fmt.Sprintf("induced %v mean, %v p95 (%v tap)", lat.Induced, lat.InducedP95, lat.Tap)},
 		{core.MZeroLossThroughput, ScoreZeroLoss(th.ZeroLossPps),
 			fmt.Sprintf("%.0f pps zero loss", th.ZeroLossPps)},
 		{core.MNetworkLethalDose, ScoreLethalDose(th.LethalPps, th.Indestructible),
@@ -464,7 +498,8 @@ func (ev *ProductEvaluation) fillMeasuredScores() error {
 		{core.MSNMPInteraction, ScoreResponseChannel(hasConsole, policyHas(ids.ActionSNMPTrap), acc.SNMPTraps, acc.SNMPTraps > 0),
 			fmt.Sprintf("%d traps", acc.SNMPTraps)},
 		{core.MTimeliness, ScoreTimeliness(acc.MeanDetectionDelay, acc.DetectedIncidents > 0),
-			fmt.Sprintf("mean %v, max %v", acc.MeanDetectionDelay, acc.MaxDetectionDelay)},
+			fmt.Sprintf("mean %v, p50 %v, p95 %v, p99 %v, max %v",
+				acc.MeanDetectionDelay, acc.DelayP50, acc.DelayP95, acc.DelayP99, acc.MaxDetectionDelay)},
 	}
 	for _, e := range entries {
 		if err := set(e.id, e.score, e.note); err != nil {

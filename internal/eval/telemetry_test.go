@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/products"
+)
+
+func TestDelayStatsKnownDistribution(t *testing.T) {
+	// A uniform 1..1000 ms distribution has known quantiles; the
+	// histogram estimator (default log-spaced ladder with in-bucket
+	// interpolation) must land within ~12% of the true values.
+	var delays []time.Duration
+	for i := 1; i <= 1000; i++ {
+		delays = append(delays, time.Duration(i)*time.Millisecond)
+	}
+	p50, p95, p99, snap := delayStats(delays)
+	if snap == nil || snap.Count != 1000 {
+		t.Fatalf("snapshot missing or wrong count: %+v", snap)
+	}
+	check := func(name string, got, want time.Duration) {
+		t.Helper()
+		tol := want * 12 / 100
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+		}
+	}
+	check("p50", p50, 500*time.Millisecond)
+	check("p95", p95, 950*time.Millisecond)
+	check("p99", p99, 990*time.Millisecond)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles out of order: %v %v %v", p50, p95, p99)
+	}
+	if p99 > time.Second || snap.QuantileDuration(1) != time.Second {
+		t.Fatalf("quantiles exceed observed max: p99=%v max=%v", p99, snap.QuantileDuration(1))
+	}
+
+	// No detections → zeros and no histogram.
+	z50, z95, z99, zsnap := delayStats(nil)
+	if z50 != 0 || z95 != 0 || z99 != 0 || zsnap != nil {
+		t.Fatalf("empty delayStats = %v %v %v %+v", z50, z95, z99, zsnap)
+	}
+}
+
+func TestBuildTelemetryAndPublish(t *testing.T) {
+	ev := &ProductEvaluation{
+		Spec: products.Spec{Name: "X"},
+		Accuracy: &AccuracyResult{
+			DelayP50: 10 * time.Millisecond, DelayP95: 40 * time.Millisecond, DelayP99: 90 * time.Millisecond,
+			TapDrops: 50, SensorDrops: 150, IngestedPkts: 950, ProcessedPkts: 800,
+			SensorBusy:        2 * time.Second,
+			ReportedIncidents: 7, Notifications: 3, FalseAlarms: 2,
+		},
+		Latency: &LatencyResult{
+			Induced: 25 * time.Microsecond, InducedP95: 60 * time.Microsecond,
+		},
+	}
+	tel := BuildTelemetry(ev)
+	// (50 tap + 150 sensor) / (950 ingested + 50 tap offered) = 0.2.
+	if tel.DropRatio != 0.2 {
+		t.Fatalf("drop ratio = %v, want 0.2", tel.DropRatio)
+	}
+	// 800 processed over 2s busy = 400 pps.
+	if tel.ScanThroughputPps != 400 {
+		t.Fatalf("scan throughput = %v, want 400", tel.ScanThroughputPps)
+	}
+
+	reg := obs.NewRegistry()
+	tel.Publish(reg)
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"scorecard.detection_delay_p50_ns": int64(10 * time.Millisecond),
+		"scorecard.detection_delay_p95_ns": int64(40 * time.Millisecond),
+		"scorecard.detection_delay_p99_ns": int64(90 * time.Millisecond),
+		"scorecard.drop_ratio_ppm":         200000,
+		"scorecard.scan_throughput_pps":    400,
+		"scorecard.operator_incidents":     7,
+		"scorecard.operator_notifications": 3,
+		"scorecard.false_alarms":           2,
+		"scorecard.induced_latency_ns":     int64(25 * time.Microsecond),
+		"scorecard.induced_latency_p95_ns": int64(60 * time.Microsecond),
+	} {
+		g, ok := snap.Gauge(name)
+		if !ok {
+			t.Errorf("gauge %s not published", name)
+			continue
+		}
+		if g.Value != want {
+			t.Errorf("%s = %d, want %d", name, g.Value, want)
+		}
+	}
+
+	// Publish on nil pieces must be safe no-ops.
+	BuildTelemetry(&ProductEvaluation{Spec: products.Spec{Name: "empty"}}).Publish(nil)
+	var nilTel *Telemetry
+	nilTel.Publish(reg)
+}
+
+func TestLatencyPercentilesPopulated(t *testing.T) {
+	// The histogram-backed percentile fields must be filled and ordered
+	// for a real measurement run.
+	lat, err := MeasureInducedLatency(products.TrueSecure(), TapMirror, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.BaselineHist == nil || lat.WithIDSHist == nil {
+		t.Fatal("probe histograms missing")
+	}
+	if lat.BaselineHist.Count != uint64(lat.Probes) {
+		t.Fatalf("baseline histogram has %d observations, want %d", lat.BaselineHist.Count, lat.Probes)
+	}
+	if lat.BaselineP50 <= 0 || lat.WithIDSP50 <= 0 {
+		t.Fatalf("p50 not populated: %v / %v", lat.BaselineP50, lat.WithIDSP50)
+	}
+	for _, tri := range [][3]time.Duration{
+		{lat.BaselineP50, lat.BaselineP95, lat.BaselineP99},
+		{lat.WithIDSP50, lat.WithIDSP95, lat.WithIDSP99},
+	} {
+		if !(tri[0] <= tri[1] && tri[1] <= tri[2]) {
+			t.Fatalf("percentiles out of order: %v", tri)
+		}
+	}
+}

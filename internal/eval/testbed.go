@@ -14,6 +14,7 @@ import (
 	"repro/internal/hostmon"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/products"
 	"repro/internal/rts"
@@ -53,6 +54,11 @@ type TestbedConfig struct {
 	TrainFor time.Duration
 	// BackgroundPps is the offered background load.
 	BackgroundPps float64
+	// Obs, when non-nil, wires telemetry through every component of the
+	// testbed (topology links/switches, the IDS pipeline). Telemetry
+	// observes and never perturbs: results are bit-identical with Obs
+	// set or nil (the determinism guard test pins this).
+	Obs *obs.Registry
 }
 
 func (c *TestbedConfig) applyDefaults() {
@@ -102,10 +108,12 @@ func NewTestbed(spec products.Spec, cfg TestbedConfig) (*Testbed, error) {
 		ClusterHosts:  cfg.ClusterHosts,
 		ExternalHosts: cfg.ExternalHosts,
 	})
+	top.Instrument(cfg.Obs)
 	inst, err := spec.Instantiate(sim)
 	if err != nil {
 		return nil, err
 	}
+	inst.Instrument(cfg.Obs)
 	tb := &Testbed{
 		Sim: sim, Top: top, IDS: inst, Spec: spec, Cfg: cfg,
 		hostsByAddr: make(map[packet.Addr]*netsim.Host),

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/products"
 	"repro/internal/trace"
@@ -77,10 +78,13 @@ func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, 
 // peak memory is O(chunk) instead of O(capture). Results are identical
 // to loading the same records through RunTraceAccuracy. The reader must
 // be indexed (opened on a seekable source), since sizing and ground
-// truth are needed before the first chunk replays. When tm is non-nil,
-// per-stage wall-clock timings and the decoded-chunk count are recorded
-// into it.
-func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity float64, trainFor time.Duration, seed int64, tm *TraceTimings) (*AccuracyResult, error) {
+// truth are needed before the first chunk replays.
+//
+// When reg is non-nil, the run is instrumented: wall-clock stage spans
+// ("replay.setup" / "replay.train" / "replay.replay" / "replay.score"),
+// decoder counters on rd, and the full testbed component telemetry.
+// The scored result is bit-identical with reg set or nil.
+func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity float64, trainFor time.Duration, seed int64, reg *obs.Registry) (*AccuracyResult, error) {
 	st, ok := rd.Stats()
 	if !ok {
 		return nil, fmt.Errorf("eval: streaming accuracy needs an indexed trace (seekable IDT2 source)")
@@ -88,23 +92,27 @@ func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity fl
 	if st.Packets == 0 {
 		return nil, fmt.Errorf("eval: empty trace")
 	}
-	stage := time.Now()
+	rd.SetObs(reg)
+	sp := reg.StartSpan("replay.setup")
 	tb, err := NewTestbed(spec, TestbedConfig{
 		Seed: seed, TrainFor: trainFor,
 		ClusterHosts: st.ClusterHosts, ExternalHosts: st.ExternalHosts,
+		Obs: reg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	tm.lap(&tm.Setup, &stage)
+	sp.End()
+	sp = reg.StartSpan("replay.train")
 	if err := tb.Train(); err != nil {
 		return nil, err
 	}
 	if err := tb.IDS.SetSensitivity(sensitivity); err != nil {
 		return nil, err
 	}
-	tm.lap(&tm.Train, &stage)
+	sp.End()
 
+	sp = reg.StartSpan("replay.replay")
 	replayStart := tb.Sim.Now()
 	convs := make(map[packet.FlowKey]bool)
 	emit := func(p *packet.Packet) {
@@ -124,35 +132,13 @@ func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity fl
 		return nil, err
 	}
 	tb.IDS.Flush()
-	tm.lap(&tm.Replay, &stage)
-	if tm != nil {
-		tm.Chunks = rd.ChunksRead()
-	}
+	sp.End()
 
+	sp = reg.StartSpan("replay.score")
 	res, err := scoreTraceAccuracy(tb, sensitivity,
 		shiftIncidents(rd.Incidents(), st.FirstAt, replayStart), convs)
-	tm.lap(&tm.Score, &stage)
+	sp.End()
 	return res, err
-}
-
-// TraceTimings reports per-stage wall-clock costs of a streaming trace
-// run, for the replay CLI's diagnostics.
-type TraceTimings struct {
-	Setup  time.Duration
-	Train  time.Duration
-	Replay time.Duration
-	Score  time.Duration
-	Chunks int
-}
-
-// lap records the time since *stage into *d and resets the stage mark;
-// a nil receiver ignores the measurement.
-func (tm *TraceTimings) lap(d *time.Duration, stage *time.Time) {
-	if tm == nil {
-		return
-	}
-	*d = time.Since(*stage)
-	*stage = time.Now()
 }
 
 // shiftIncidents rebases ground-truth times from the trace's own
@@ -230,6 +216,7 @@ func scoreTraceAccuracy(tb *Testbed, sensitivity float64, truth []attack.Inciden
 	if len(delays) > 0 {
 		res.MeanDetectionDelay /= time.Duration(len(delays))
 	}
+	res.DelayP50, res.DelayP95, res.DelayP99, res.DelayHist = delayStats(delays)
 	if c := tb.IDS.Console(); c != nil {
 		res.FirewallBlocks = len(c.Firewall.BlockEvents)
 		res.RouterRedirects = len(c.Redirects)
@@ -240,6 +227,11 @@ func scoreTraceAccuracy(tb *Testbed, sensitivity float64, truth []attack.Inciden
 	res.SensorDrops = st.SensorDropped
 	res.SensorFailures = st.SensorFailures
 	res.StorageBytes = st.StorageBytes
+	res.TapDrops = tb.MirrorDrops()
+	res.IngestedPkts = st.Ingested
+	res.ProcessedPkts = st.Processed
+	res.Notifications = st.Notifications
+	res.SensorBusy = st.SensorBusy
 	res.Profiles = tb.IDS.Monitor().IntentReport()
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/products"
 	"repro/internal/simtime"
@@ -126,13 +127,18 @@ func TestStreamAccuracyMatchesInMemory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var tm TraceTimings
-		got, err := RunTraceAccuracyStream(spec, rd, 0.6, 6*time.Second, 11, &tm)
+		reg := obs.NewRegistry()
+		got, err := RunTraceAccuracyStream(spec, rd, 0.6, 6*time.Second, 11, reg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if tm.Chunks == 0 {
+		if chunks, _ := reg.Snapshot().Counter("trace.decoder.chunks"); chunks == 0 {
 			t.Fatal("streaming run decoded no chunks")
+		}
+		for _, name := range []string{"replay.setup", "replay.train", "replay.replay", "replay.score"} {
+			if _, ok := reg.SpanDur(name); !ok {
+				t.Fatalf("stage span %q not recorded", name)
+			}
 		}
 		// Field-for-field equality: every count, ratio, technique flag,
 		// and intent profile must match, so any downstream report renders

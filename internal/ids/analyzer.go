@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -57,6 +58,8 @@ type Analyzer struct {
 	AlertsSeen uint64
 	// StorageBytes models accumulated historical data.
 	StorageBytes uint64
+
+	cAlerts *obs.Counter
 }
 
 // NewAnalyzer builds one analyzer reporting to monitor.
@@ -82,6 +85,7 @@ func (a *Analyzer) Submit(alerts []detect.Alert) {
 	now := a.sim.Now()
 	for _, al := range alerts {
 		a.AlertsSeen++
+		a.cAlerts.Inc()
 		a.StorageBytes += uint64(a.storagePerAlert)
 		k := incidentKey(al)
 		inc, ok := a.open[k]
@@ -149,6 +153,8 @@ type Monitor struct {
 	// onNotify, when set (console attached), receives notified incidents
 	// for automated response.
 	onNotify func(inc *ReportedIncident)
+
+	cIncidents, cNotifications *obs.Counter
 }
 
 // Notification is one operator alert.
@@ -165,6 +171,7 @@ func NewMonitor(sim *simtime.Sim, threshold float64) *Monitor {
 // Report registers a new incident and notifies if warranted.
 func (m *Monitor) Report(inc *ReportedIncident) {
 	m.Incidents = append(m.Incidents, inc)
+	m.cIncidents.Inc()
 	m.maybeNotify(inc)
 }
 
@@ -176,6 +183,7 @@ func (m *Monitor) maybeNotify(inc *ReportedIncident) {
 		return
 	}
 	m.notified[inc] = true
+	m.cNotifications.Inc()
 	m.Notifications = append(m.Notifications, Notification{At: m.sim.Now(), Incident: inc})
 	if m.onNotify != nil {
 		m.onNotify(inc)

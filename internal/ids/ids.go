@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -192,6 +193,30 @@ type IDS struct {
 	PoolSkipped uint64
 	// AlertNetBytes accumulates modeled sensor->analyzer network overhead.
 	AlertNetBytes uint64
+
+	// Telemetry instruments; nil (free no-ops) unless Instrument is called.
+	cIngested, cPoolSkipped *obs.Counter
+}
+
+// Instrument wires telemetry through every subprocess of the IDS under
+// the "ids." namespace: ingest and pool counters, per-sensor fan-out and
+// scan timing, per-analyzer alert counts, and monitor incident flow.
+// Idempotent; a nil registry leaves the IDS uninstrumented.
+func (s *IDS) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.cIngested = reg.Counter("ids.ingested")
+	s.cPoolSkipped = reg.Counter("ids.pool_skipped")
+	for i, sn := range s.sensors {
+		sn.instrument(reg, fmt.Sprintf("ids.sensor.s%d.", i))
+		sn.cPicked = reg.Counter(fmt.Sprintf("ids.balancer.fanout.s%d", i))
+	}
+	for _, a := range s.analyzers {
+		a.cAlerts = reg.Counter(fmt.Sprintf("ids.analyzer.a%d.alerts", a.id))
+	}
+	s.monitor.cIncidents = reg.Counter("ids.monitor.incidents")
+	s.monitor.cNotifications = reg.Counter("ids.monitor.notifications")
 }
 
 // New assembles an IDS from cfg.
@@ -316,6 +341,7 @@ func (s *IDS) pickSensor(p *packet.Packet) *Sensor {
 // blocked the source.
 func (s *IDS) Ingest(p *packet.Packet) bool {
 	s.Ingested++
+	s.cIngested.Inc()
 	if s.recorder != nil {
 		s.recorder.observe(p)
 	}
@@ -325,6 +351,7 @@ func (s *IDS) Ingest(p *packet.Packet) bool {
 	}
 	if !s.pool.Selects(p) {
 		s.PoolSkipped++
+		s.cPoolSkipped.Inc()
 		return true
 	}
 	if s.cfg.BalancerCost > 0 {
@@ -332,10 +359,12 @@ func (s *IDS) Ingest(p *packet.Packet) bool {
 		// the packet itself (in-line) is not held, matching a mirroring
 		// balancer. In-line hold cost is modeled by netsim.InlineDevice.
 		sensor := s.pickSensor(p)
+		sensor.cPicked.Inc()
 		s.sim.MustSchedule(s.cfg.BalancerCost, func() { sensor.Offer(p) })
 		return sensor.PassVerdict()
 	}
 	sensor := s.pickSensor(p)
+	sensor.cPicked.Inc()
 	sensor.Offer(p)
 	return sensor.PassVerdict()
 }
@@ -368,6 +397,9 @@ type Stats struct {
 	Notifications  int
 	StorageBytes   uint64
 	AlertNetBytes  uint64
+	// SensorBusy is total engine processing time across sensors (sim
+	// time) — the denominator of the scan-throughput telemetry metric.
+	SensorBusy time.Duration
 }
 
 // Stats snapshots the current counters.
@@ -379,6 +411,7 @@ func (s *IDS) Stats() Stats {
 		st.Processed += sn.Processed
 		st.SensorDropped += sn.Dropped
 		st.SensorFailures += sn.Failures
+		st.SensorBusy += sn.BusyTime
 	}
 	for _, a := range s.analyzers {
 		st.AlertsRaised += a.AlertsSeen

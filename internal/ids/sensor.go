@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -66,6 +67,21 @@ type Sensor struct {
 	// BusyTime accumulates engine processing time for utilization and
 	// host-impact accounting.
 	BusyTime time.Duration
+
+	// Telemetry instruments; nil (free no-ops) unless instrumented.
+	cPicked, cProcessed, cDropped *obs.Counter
+	gQueue                        *obs.Gauge
+	hScanSim                      *obs.Histogram // modeled per-packet scan cost
+	hScanWall                     *obs.Histogram // real engine.Inspect time
+}
+
+// instrument registers the sensor's telemetry under the given prefix.
+func (s *Sensor) instrument(reg *obs.Registry, base string) {
+	s.cProcessed = reg.Counter(base + "processed")
+	s.cDropped = reg.Counter(base + "dropped")
+	s.gQueue = reg.Gauge(base + "queue_depth")
+	s.hScanSim = reg.Histogram(base+"scan_cost_ns", obs.ClockSim)
+	s.hScanWall = reg.Histogram(base+"scan_wall_ns", obs.ClockWall)
 }
 
 // NewSensor builds one sensor.
@@ -103,10 +119,12 @@ func (s *Sensor) Offer(p *packet.Packet) {
 		// A failed sensor inspects nothing. Fail-open silently misses;
 		// the drop counter records the blindness either way.
 		s.Dropped++
+		s.cDropped.Inc()
 		return
 	}
 	if s.queueDepth >= s.queueLimit {
 		s.Dropped++
+		s.cDropped.Inc()
 		s.noteDrop(now)
 		return
 	}
@@ -120,15 +138,29 @@ func (s *Sensor) Offer(p *packet.Packet) {
 	}
 	s.busyUntil = start + cost
 	s.queueDepth++
+	s.gQueue.Set(int64(s.queueDepth))
 	s.BusyTime += cost
+	s.hScanSim.Observe(int64(cost))
 	done := s.busyUntil
 	s.sim.MustSchedule(done-now, func() {
 		s.queueDepth--
+		s.gQueue.Set(int64(s.queueDepth))
 		if s.state == SensorFailed {
 			return
 		}
 		s.Processed++
+		s.cProcessed.Inc()
+		// Wall-clock scan timing: real harness cost of the detection
+		// engine, as opposed to the modeled sim cost above. Reading the
+		// wall clock never touches the simulation, so determinism holds.
+		var t0 time.Time
+		if s.hScanWall != nil {
+			t0 = time.Now()
+		}
 		alerts := s.engine.Inspect(p, s.sim.Now())
+		if s.hScanWall != nil {
+			s.hScanWall.Observe(int64(time.Since(t0)))
+		}
 		if len(alerts) > 0 && s.deliver != nil {
 			s.deliver(alerts)
 		}

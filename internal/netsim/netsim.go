@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -55,6 +56,10 @@ type linkDir struct {
 	head     int
 	armed    bool
 	deliver  func() // reused delivery handler for the queue head
+
+	// Telemetry instruments; nil (free no-ops) unless Instrument is called.
+	cSent, cDelivered, cDropped, cBytes *obs.Counter
+	gQueued                             *obs.Gauge
 }
 
 // pop removes and returns the queue head, compacting the ring when it
@@ -132,6 +137,9 @@ func (l *Link) deliverFunc(dir *linkDir) func() {
 		dir.queued -= tx.size
 		dir.stats.Delivered++
 		dir.stats.Bytes += uint64(tx.size)
+		dir.cDelivered.Inc()
+		dir.cBytes.Add(uint64(tx.size))
+		dir.gQueued.Set(int64(dir.queued))
 		if dir.head < len(dir.inflight) {
 			l.sim.MustSchedule(dir.inflight[dir.head].arrival-l.sim.Now(), dir.deliver)
 		} else {
@@ -179,12 +187,15 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 		panic(err) // topology wiring bug, not a runtime condition
 	}
 	dir.stats.Sent++
+	dir.cSent.Inc()
 	size := p.WireLen()
 	if dir.queued+size > l.BufferBytes {
 		dir.stats.Dropped++
+		dir.cDropped.Inc()
 		return false
 	}
 	dir.queued += size
+	dir.gQueued.Set(int64(dir.queued))
 	now := l.sim.Now()
 	start := now
 	if dir.busyUntil > start {
@@ -199,6 +210,30 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 		l.sim.MustSchedule(arrival-now, dir.deliver)
 	}
 	return true
+}
+
+// Instrument registers per-direction traffic counters and queued-bytes
+// gauges for this link under "netsim.link.<name>.<dir>". Directions are
+// labeled by the endpoint they deliver to. Idempotent; a nil registry
+// leaves the link uninstrumented (the free path).
+func (l *Link) Instrument(reg *obs.Registry) {
+	l.a.instrument(reg, l.name, "a")
+	l.b.instrument(reg, l.name, "b")
+}
+
+func (dir *linkDir) instrument(reg *obs.Registry, link, side string) {
+	if reg == nil {
+		return
+	}
+	if dir.to != nil {
+		side = "to_" + dir.to.Name()
+	}
+	base := "netsim.link." + link + "." + side + "."
+	dir.cSent = reg.Counter(base + "sent")
+	dir.cDelivered = reg.Counter(base + "delivered")
+	dir.cDropped = reg.Counter(base + "dropped")
+	dir.cBytes = reg.Counter(base + "bytes")
+	dir.gQueued = reg.Gauge(base + "queued_bytes")
 }
 
 // StatsToward returns the counters for the direction delivering to e.
@@ -283,6 +318,8 @@ type Switch struct {
 	Forwarded  uint64
 	NoRoute    uint64
 	MirrorSent uint64
+
+	cForwarded, cNoRoute, cMirror *obs.Counter
 }
 
 // NewSwitch creates a switch with the given internal forwarding latency
@@ -320,6 +357,17 @@ func (s *Switch) SetUplink(l *Link) { s.uplink = l }
 // SetMirror designates a link to receive a copy of all forwarded traffic.
 func (s *Switch) SetMirror(l *Link) { s.mirror = l }
 
+// Instrument registers forwarding counters under "netsim.switch.<name>".
+func (s *Switch) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	base := "netsim.switch." + s.name + "."
+	s.cForwarded = reg.Counter(base + "forwarded")
+	s.cNoRoute = reg.Counter(base + "no_route")
+	s.cMirror = reg.Counter(base + "mirror_sent")
+}
+
 // Receive implements Endpoint: forward by destination address, mirroring a
 // copy if a SPAN port is configured.
 func (s *Switch) Receive(p *packet.Packet, from *Link) {
@@ -330,12 +378,15 @@ func (s *Switch) Receive(p *packet.Packet, from *Link) {
 		}
 		if out == nil || out == from {
 			s.NoRoute++
+			s.cNoRoute.Inc()
 			return
 		}
 		s.Forwarded++
+		s.cForwarded.Inc()
 		out.Send(s, p)
 		if s.mirror != nil && s.mirror != from {
 			s.MirrorSent++
+			s.cMirror.Inc()
 			// The mirror port serializes its own copy and may drop under
 			// load — exactly how a saturated SPAN port starves a passive
 			// sensor.
@@ -457,12 +508,17 @@ type InlineDevice struct {
 	Forwarded uint64
 	Dropped   uint64
 	Filtered  uint64
+
+	cForwarded, cDropped, cFiltered *obs.Counter
+	gQueueDepth                     *obs.Gauge
+	hSojourn                        *obs.Histogram // sim-time enqueue-to-completion
 }
 
 // inlineJob is one packet waiting in an InlineDevice's processor queue.
 type inlineJob struct {
 	p    *packet.Packet
 	from *Link
+	enq  simtime.Time
 	done simtime.Time
 }
 
@@ -484,6 +540,8 @@ func (d *InlineDevice) process() {
 		d.head = 0
 	}
 	d.queueDepth--
+	d.gQueueDepth.Set(int64(d.queueDepth))
+	d.hSojourn.Observe(int64(d.sim.Now() - job.enq))
 	if d.head < len(d.queue) {
 		d.sim.MustSchedule(d.queue[d.head].done-d.sim.Now(), d.run)
 	} else {
@@ -491,6 +549,7 @@ func (d *InlineDevice) process() {
 	}
 	if d.Process != nil && !d.Process(job.p) {
 		d.Filtered++
+		d.cFiltered.Inc()
 		return
 	}
 	out := d.right
@@ -499,14 +558,30 @@ func (d *InlineDevice) process() {
 	}
 	if out == nil {
 		d.Dropped++
+		d.cDropped.Inc()
 		return
 	}
 	d.Forwarded++
+	d.cForwarded.Inc()
 	out.Send(d, job.p)
 }
 
 // Name implements Endpoint.
 func (d *InlineDevice) Name() string { return d.name }
+
+// Instrument registers the device's counters, queue-depth gauge, and
+// sim-time queue-sojourn histogram under "netsim.inline.<name>".
+func (d *InlineDevice) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	base := "netsim.inline." + d.name + "."
+	d.cForwarded = reg.Counter(base + "forwarded")
+	d.cDropped = reg.Counter(base + "dropped")
+	d.cFiltered = reg.Counter(base + "filtered")
+	d.gQueueDepth = reg.Gauge(base + "queue_depth")
+	d.hSojourn = reg.Histogram(base+"queue_wait_ns", obs.ClockSim)
+}
 
 // SetLinks attaches the two sides of the device.
 func (d *InlineDevice) SetLinks(left, right *Link) {
@@ -532,11 +607,13 @@ func (d *InlineDevice) Receive(p *packet.Packet, from *Link) {
 	// Queue-depth accounting: packets waiting for the processor.
 	if d.queueDepth >= d.QueueLimit {
 		d.Dropped++
+		d.cDropped.Inc()
 		return
 	}
 	d.queueDepth++
+	d.gQueueDepth.Set(int64(d.queueDepth))
 	d.busyUntil = start + cost
-	d.queue = append(d.queue, inlineJob{p: p, from: from, done: d.busyUntil})
+	d.queue = append(d.queue, inlineJob{p: p, from: from, enq: now, done: d.busyUntil})
 	if !d.armed {
 		d.armed = true
 		d.sim.MustSchedule(d.busyUntil-now, d.run)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -25,8 +26,10 @@ type Topology struct {
 	External     []*Host
 	Cluster      []*Host
 	routerToLan  *Link
+	extTrunk     *Link
 	lanPrefix    packet.Addr
 	nextHostLink LinkConfig
+	obsReg       *obs.Registry
 }
 
 // TopologyConfig parameterizes BuildTopology.
@@ -101,6 +104,7 @@ func BuildTopology(sim *simtime.Sim, cfg TopologyConfig) *Topology {
 	lanLink := NewLink(sim, t.Border, t.LanSwitch, lanTrunk)
 	t.LanSwitch.SetUplink(lanLink)
 	t.routerToLan = lanLink
+	t.extTrunk = extLink
 
 	t.Border.AddRoute(LanPrefix, 16, lanLink)
 	t.Border.AddRoute(ExtPrefix, 16, extLink)
@@ -116,6 +120,21 @@ func BuildTopology(sim *simtime.Sim, cfg TopologyConfig) *Topology {
 		t.External = append(t.External, h)
 	}
 	return t
+}
+
+// Instrument wires telemetry for the topology's backbone: both trunk
+// links and both switches. Links attached later (SPAN mirror, inline
+// splice) pick the registry up automatically. A nil registry disables
+// telemetry at zero cost; call before the simulation runs.
+func (t *Topology) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.obsReg = reg
+	t.extTrunk.Instrument(reg)
+	t.routerToLan.Instrument(reg)
+	t.ExtSwitch.Instrument(reg)
+	t.LanSwitch.Instrument(reg)
 }
 
 // AddClusterHost adds another protected host to the LAN and returns it.
@@ -134,6 +153,7 @@ func (t *Topology) AttachMirror(sink Endpoint, cfg LinkConfig) *Link {
 		cfg.Name = "span"
 	}
 	l := NewLink(t.Sim, t.LanSwitch, sink, cfg)
+	l.Instrument(t.obsReg)
 	t.LanSwitch.SetMirror(l)
 	return l
 }
@@ -156,6 +176,9 @@ func (t *Topology) InsertInline(d *InlineDevice, cfg LinkConfig) {
 	north := NewLink(t.Sim, t.Border, d, northCfg)
 	south := NewLink(t.Sim, d, t.LanSwitch, southCfg)
 	d.SetLinks(north, south)
+	north.Instrument(t.obsReg)
+	south.Instrument(t.obsReg)
+	d.Instrument(t.obsReg)
 
 	// Repoint router and LAN switch routes at the device.
 	t.Border.rerouteLanVia(north, t.lanPrefix)

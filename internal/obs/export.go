@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CounterSnap is one counter's exported state.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's exported state.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	High  int64  `json:"high"`
+}
+
+// Snapshot is an immutable, name-sorted capture of a registry: the
+// structured form that exporters serialize and that internal/eval and
+// internal/report consume when deriving scorecard quantities.
+type Snapshot struct {
+	Counters []CounterSnap `json:"counters,omitempty"`
+	Gauges   []GaugeSnap   `json:"gauges,omitempty"`
+	Hists    []*HistSnap   `json:"histograms,omitempty"`
+	Spans    []SpanRecord  `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Instruments are
+// sorted by name so exports are deterministic regardless of wiring
+// order; spans keep record order (they are a timeline). A nil registry
+// snapshots to nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, name := range sortedKeys(r.counters) {
+		counters = append(counters, r.counters[name])
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, name := range sortedKeys(r.gauges) {
+		gauges = append(gauges, r.gauges[name])
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, name := range sortedKeys(r.hists) {
+		hists = append(hists, r.hists[name])
+	}
+	spans := make([]SpanRecord, len(r.spans))
+	copy(spans, r.spans)
+	r.mu.Unlock()
+
+	s := &Snapshot{Spans: spans}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Value: g.Value(), High: g.High()})
+	}
+	for _, h := range hists {
+		s.Hists = append(s.Hists, h.Snap())
+	}
+	return s
+}
+
+// Counter returns the named counter's value and whether it exists.
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's state and whether it exists.
+func (s *Snapshot) Gauge(name string) (GaugeSnap, bool) {
+	if s == nil {
+		return GaugeSnap{}, false
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GaugeSnap{}, false
+}
+
+// Hist returns the named histogram summary, or nil.
+func (s *Snapshot) Hist(name string) *HistSnap {
+	if s == nil {
+		return nil
+	}
+	for _, h := range s.Hists {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Prefixed returns a copy of the snapshot with every instrument and
+// span name prefixed (for merging per-experiment registries into one
+// dump without collisions).
+func (s *Snapshot) Prefixed(prefix string) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := &Snapshot{}
+	for _, c := range s.Counters {
+		c.Name = prefix + c.Name
+		out.Counters = append(out.Counters, c)
+	}
+	for _, g := range s.Gauges {
+		g.Name = prefix + g.Name
+		out.Gauges = append(out.Gauges, g)
+	}
+	for _, h := range s.Hists {
+		hc := *h
+		hc.Name = prefix + hc.Name
+		out.Hists = append(out.Hists, &hc)
+	}
+	for _, sp := range s.Spans {
+		sp.Name = prefix + sp.Name
+		out.Spans = append(out.Spans, sp)
+	}
+	return out
+}
+
+// Merge appends other's instruments and spans to s (names are assumed
+// disjoint — use Prefixed when merging same-shaped registries).
+func (s *Snapshot) Merge(other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	s.Counters = append(s.Counters, other.Counters...)
+	s.Gauges = append(s.Gauges, other.Gauges...)
+	s.Hists = append(s.Hists, other.Hists...)
+	s.Spans = append(s.Spans, other.Spans...)
+}
+
+// promName sanitizes a dotted metric path into a Prometheus-legal
+// metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Each instrument carries a `clock` label where the timeline
+// matters; histograms emit the classic _bucket/_sum/_count triple plus
+// estimated p50/p95/p99 as a quantile-labeled summary line.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(c.Name), promName(c.Name), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n%s_high %d\n", n, n, g.Value, n, g.High); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n# clock %s\n", n, h.Clock); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Upper, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, h.Count, n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %d\n", n, q, h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sp := range s.Spans {
+		if _, err := fmt.Fprintf(w, "%s_span_ns{clock=\"%s\"} %d\n", promName(sp.Name), sp.Clock, sp.Dur.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonlEvent is one line of the JSONL export.
+type jsonlEvent struct {
+	Kind    string       `json:"kind"`
+	Counter *CounterSnap `json:"counter,omitempty"`
+	Gauge   *GaugeSnap   `json:"gauge,omitempty"`
+	Hist    *HistSnap    `json:"histogram,omitempty"`
+	Span    *SpanRecord  `json:"span,omitempty"`
+	Clock   string       `json:"clock,omitempty"`
+}
+
+// WriteJSONL renders the snapshot as one JSON object per line — an
+// event/snapshot log that downstream tooling can ingest incrementally.
+func (s *Snapshot) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for i := range s.Counters {
+		if err := enc.Encode(jsonlEvent{Kind: "counter", Counter: &s.Counters[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range s.Gauges {
+		if err := enc.Encode(jsonlEvent{Kind: "gauge", Gauge: &s.Gauges[i]}); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		if err := enc.Encode(jsonlEvent{Kind: "histogram", Hist: h, Clock: h.Clock.String()}); err != nil {
+			return err
+		}
+	}
+	for i := range s.Spans {
+		if err := enc.Encode(jsonlEvent{Kind: "span", Span: &s.Spans[i], Clock: s.Spans[i].Clock.String()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

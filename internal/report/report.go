@@ -171,6 +171,8 @@ func AccuracySummary(w io.Writer, r *eval.AccuracyResult) error {
 	t.addRow("false negative ratio |A-D|/|T|", fmt.Sprintf("%.5f", r.FalseNegativeRatio))
 	t.addRow("miss rate |A-D|/|A|", fmt.Sprintf("%.3f", r.MissRate))
 	t.addRow("mean detection delay", r.MeanDetectionDelay.String())
+	t.addRow("detection delay p50/p95/p99",
+		fmt.Sprintf("%v / %v / %v", r.DelayP50, r.DelayP95, r.DelayP99))
 	t.addRow("max detection delay", r.MaxDetectionDelay.String())
 	for _, tech := range r.Techniques() {
 		mark := "missed"
@@ -303,6 +305,26 @@ func EvaluationReport(w io.Writer, ev *eval.ProductEvaluation) error {
 		}
 	}
 	return nil
+}
+
+// TelemetrySummary renders the scorecard-grade telemetry distilled from
+// one product evaluation: the class-3 quantities in raw physical units.
+func TelemetrySummary(w io.Writer, t *eval.Telemetry) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "no telemetry collected")
+		return err
+	}
+	tab := &table{header: []string{"Telemetry (" + t.Product + ")", "Value"}}
+	tab.addRow("detection delay p50/p95/p99",
+		fmt.Sprintf("%v / %v / %v", t.DelayP50, t.DelayP95, t.DelayP99))
+	tab.addRow("pipeline drop ratio", fmt.Sprintf("%.5f (%d tap + %d sensor of %d offered)",
+		t.DropRatio, t.TapDrops, t.SensorDrops, t.Ingested+t.TapDrops))
+	tab.addRow("scan throughput", fmt.Sprintf("%.0f pps (%d processed)", t.ScanThroughputPps, t.Processed))
+	tab.addRow("operator workload", fmt.Sprintf("%d incidents, %d notifications, %d false alarms",
+		t.Incidents, t.Notifications, t.FalseAlarms))
+	tab.addRow("induced latency mean/p95",
+		fmt.Sprintf("%v / %v", t.InducedLatency, t.InducedLatencyP95))
+	return tab.render(w)
 }
 
 // IntentProfiles renders the analyzer's second-order attacker analysis:

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
 )
@@ -487,6 +488,24 @@ type Reader struct {
 
 	mu   sync.Mutex
 	free []*Chunk
+
+	// Telemetry instruments; nil (free no-ops) unless SetObs is called.
+	cChunks, cRecords, cBytes *obs.Counter
+	hDecode                   *obs.Histogram
+}
+
+// SetObs wires decoder telemetry under "trace.decoder.": chunk, record,
+// and byte counters plus a wall-clock per-chunk decode-time histogram.
+// Call before the first Next; a nil registry leaves the reader
+// uninstrumented at zero cost.
+func (r *Reader) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.cChunks = reg.Counter("trace.decoder.chunks")
+	r.cRecords = reg.Counter("trace.decoder.records")
+	r.cBytes = reg.Counter("trace.decoder.bytes")
+	r.hDecode = reg.Histogram("trace.decoder.decode_wall_ns", obs.ClockWall)
 }
 
 // NewReader opens an IDT2 stream. The header is consumed immediately;
@@ -749,10 +768,20 @@ func (r *Reader) Next() (*Chunk, error) {
 			if _, err := io.ReadFull(r.br, c.buf); err != nil {
 				return nil, fmt.Errorf("trace: chunk body: %w", err)
 			}
+			var t0 time.Time
+			if r.hDecode != nil {
+				t0 = time.Now()
+			}
 			if err := r.decodeChunk(c); err != nil {
 				return nil, err
 			}
+			if r.hDecode != nil {
+				r.hDecode.Observe(int64(time.Since(t0)))
+			}
 			r.chunksRead.Add(1)
+			r.cChunks.Inc()
+			r.cRecords.Add(uint64(len(c.Records)))
+			r.cBytes.Add(uint64(blen) + 5)
 			return c, nil
 		case blockIncidents:
 			if cap(r.scratch) < int(blen) {
