@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchtrace benchobs ci eval sweep traces clean
+.PHONY: all build test race bench benchhot benchtrace benchobs ci eval sweep traces faultscenarios faultgolden clean
 
 all: build test race
 
@@ -19,16 +19,20 @@ race:
 # The full gate a change must pass before merging: clean build, vet,
 # the whole suite under the race detector (the parallel evaluation
 # pipeline makes -race part of correctness, not an optional extra), the
-# trace-decoder fuzz seeds as plain regression tests, and the telemetry
+# trace-decoder fuzz seeds as plain regression tests, the telemetry
 # invariants — concurrent registry use under -race and the determinism
-# guard (telemetry on == telemetry off, byte for byte).
+# guard (telemetry on == telemetry off, byte for byte) — plus the fault
+# harness's two contracts: an empty scenario perturbs nothing
+# (NoFaultDeterminism) and the shipped scenarios reproduce their golden
+# degradation curves byte for byte (faultscenarios).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run Fuzz ./internal/trace/
 	$(GO) test -race -run 'ConcurrentRegistryUse|DisabledPathAllocFree' ./internal/obs/
-	$(GO) test -race -run 'TelemetryDeterminism|ReplayStdout' ./internal/eval/
+	$(GO) test -race -run 'TelemetryDeterminism|ReplayStdout|NoFaultDeterminism|FaultSweepReproducible' ./internal/eval/
+	$(MAKE) faultscenarios
 
 # Regenerate every table and figure of the paper.
 bench:
@@ -70,6 +74,27 @@ eval:
 sweep:
 	$(GO) run ./cmd/eersweep -product TrueSecure -points 6
 	$(GO) run ./cmd/eersweep -product NetRecorder -points 6
+
+FAULT_SCENARIOS := span-degrade sensor-outage pipeline-outage
+FAULTSWEEP_FLAGS := -quick -points 3 -seed 11
+
+# Pin the shipped fault scenarios to golden degradation curves: for a
+# fixed seed, scenario, and severity grid the sweep output is part of
+# the determinism contract and must stay byte-identical.
+faultscenarios:
+	@for s in $(FAULT_SCENARIOS); do \
+		echo "fault scenario $$s"; \
+		$(GO) run ./cmd/faultsweep -scenario examples/faults/$$s.json $(FAULTSWEEP_FLAGS) \
+			| diff -u examples/faults/golden/$$s.txt - || exit 1; \
+	done
+
+# Regenerate the golden curves after an intentional behaviour change.
+faultgolden:
+	@for s in $(FAULT_SCENARIOS); do \
+		$(GO) run ./cmd/faultsweep -scenario examples/faults/$$s.json $(FAULTSWEEP_FLAGS) \
+			> examples/faults/golden/$$s.txt; \
+		echo "wrote examples/faults/golden/$$s.txt"; \
+	done
 
 # Canned-trace workflow (Lesson 2).
 traces:

@@ -269,6 +269,45 @@ func ScoreCompromiseAnalysis(coverage float64, identifiedAny bool) core.Score {
 	}
 }
 
+// ScoreSurvivability maps the fault sweep's retention — detection
+// capability remaining at full fault severity as a fraction of the clean
+// baseline — to the 0–4 scale. The high anchor is the paper's
+// "resistance to attack upon self": a product that keeps detecting while
+// its own parts fail.
+func ScoreSurvivability(retention float64) core.Score {
+	switch {
+	case retention >= 0.9:
+		return 4
+	case retention >= 0.7:
+		return 3
+	case retention >= 0.4:
+		return 2
+	case retention > 0.1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ScoreGracefulDegradation maps the worst single-step detection drop
+// across the severity sweep (normalized by baseline) to the 0–4 scale:
+// small steps mean capability decays smoothly with severity, one large
+// step means a cliff — the product fails all at once.
+func ScoreGracefulDegradation(maxStepDrop float64) core.Score {
+	switch {
+	case maxStepDrop <= 0.1:
+		return 4
+	case maxStepDrop <= 0.25:
+		return 3
+	case maxStepDrop <= 0.5:
+		return 2
+	case maxStepDrop <= 0.75:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Options sizes a full product evaluation. Quick shrinks every experiment
 // for tests.
 type Options struct {

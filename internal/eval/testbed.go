@@ -108,6 +108,9 @@ func NewTestbed(spec products.Spec, cfg TestbedConfig) (*Testbed, error) {
 		ClusterHosts:  cfg.ClusterHosts,
 		ExternalHosts: cfg.ExternalHosts,
 	})
+	if err := top.Validate(); err != nil {
+		return nil, fmt.Errorf("eval: testbed topology: %w", err)
+	}
 	top.Instrument(cfg.Obs)
 	inst, err := spec.Instantiate(sim)
 	if err != nil {
@@ -263,6 +266,10 @@ func (tb *Testbed) Drain() {
 	}
 	tb.Sim.Run()
 }
+
+// MirrorLink returns the SPAN link feeding the IDS tap, or nil in inline
+// mode — the fault harness's "link:span" target.
+func (tb *Testbed) MirrorLink() *netsim.Link { return tb.mirrorLink }
 
 // MirrorDrops returns packets lost on the SPAN link (mirror mode only).
 func (tb *Testbed) MirrorDrops() uint64 {

@@ -65,7 +65,7 @@ type ThroughputResult struct {
 // the profile. The pool matters: the paper's Lesson 1 is that throughput
 // probing with meaningless payloads does not exercise payload-inspecting
 // engines, so the pool is drawn from real dialogues.
-func packetPool(opts ThroughputOptions, n int) []*packet.Packet {
+func packetPool(opts ThroughputOptions, n int) ([]*packet.Packet, error) {
 	sim := simtime.New(opts.Seed)
 	eps := traffic.Endpoints{
 		External: []packet.Addr{packet.IPv4(203, 0, 1, 1), packet.IPv4(203, 0, 1, 2)},
@@ -78,13 +78,27 @@ func packetPool(opts ThroughputOptions, n int) []*packet.Packet {
 		}
 	})
 	if err != nil {
-		panic(err) // static endpoints above cannot fail validation
+		return nil, fmt.Errorf("eval: throughput packet pool: %w", err)
 	}
-	for len(pool) < n {
-		gen.StartSession()
+	if err := fillPool(sim, &pool, n, gen.StartSession); err != nil {
+		return nil, fmt.Errorf("eval: profile %q: %w", opts.Profile.Name, err)
+	}
+	return pool[:n], nil
+}
+
+// fillPool drives start until the pool holds n packets. Every session a
+// well-formed profile plays emits at least one packet, so n sessions
+// always suffice; the cap converts a zero-emission misconfiguration
+// into an error instead of an infinite loop.
+func fillPool(sim *simtime.Sim, pool *[]*packet.Packet, n int, start func()) error {
+	for sessions := 0; len(*pool) < n; sessions++ {
+		if sessions > n {
+			return fmt.Errorf("packet pool stalled at %d of %d packets after %d sessions", len(*pool), n, sessions)
+		}
+		start()
 		sim.Run()
 	}
-	return pool[:n]
+	return nil
 }
 
 // probe offers the pool at a fixed rate to a fresh product instance and
@@ -123,7 +137,10 @@ func MeasureThroughput(spec products.Spec, opts ThroughputOptions) (*ThroughputR
 	if opts.LoPps >= opts.HiPps {
 		return nil, fmt.Errorf("eval: throughput bounds inverted (%v >= %v)", opts.LoPps, opts.HiPps)
 	}
-	pool := packetPool(opts, 400)
+	pool, err := packetPool(opts, 400)
+	if err != nil {
+		return nil, err
+	}
 	res := &ThroughputResult{Product: spec.Name}
 
 	// Establish bracket: lo must pass, hi must fail; expand/shrink as

@@ -1,0 +1,58 @@
+package eval
+
+// Misconfiguration tests for the throughput harness: a bad setup must
+// surface as a construction-time error, never a panic or a hang.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/products"
+	"repro/internal/simtime"
+)
+
+func TestPacketPoolFillsFromProfile(t *testing.T) {
+	opts := ThroughputOptions{}
+	opts.applyDefaults()
+	pool, err := packetPool(opts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 25 {
+		t.Fatalf("pool has %d packets, want 25", len(pool))
+	}
+	payloads := 0
+	for _, p := range pool {
+		if len(p.Payload) > 0 {
+			payloads++
+		}
+	}
+	if payloads == 0 {
+		t.Fatal("pool carries no payloads; throughput probing would not exercise inspection engines")
+	}
+}
+
+func TestFillPoolStallGuard(t *testing.T) {
+	// A session source that emits nothing must trip the cap with an
+	// error instead of spinning forever.
+	sim := simtime.New(1)
+	var pool []*packet.Packet
+	err := fillPool(sim, &pool, 10, func() {})
+	if err == nil {
+		t.Fatal("zero-emission source filled the pool")
+	}
+	if !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMeasureThroughputInvertedBounds(t *testing.T) {
+	_, err := MeasureThroughput(products.TrueSecure(), ThroughputOptions{LoPps: 1000, HiPps: 500})
+	if err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	if !strings.Contains(err.Error(), "bounds inverted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -59,7 +59,31 @@ type Analyzer struct {
 	// StorageBytes models accumulated historical data.
 	StorageBytes uint64
 
-	cAlerts *obs.Counter
+	// Stall/spool state. While stalled the analyzer folds nothing; alerts
+	// go to a bounded spool (resilience on) or are counted lost
+	// (resilience off). The spool is the only buffering on the
+	// analyzer→monitor path and it is always bounded: overload shows up
+	// in DroppedAlerts and the ids.analyzer.alerts_dropped counter, never
+	// as unbounded memory growth.
+	stalled      bool
+	spool        []detect.Alert
+	spoolLimit   int
+	retryBackoff time.Duration
+	retryMax     time.Duration
+	curBackoff   time.Duration
+	retryArmed   bool
+
+	// DroppedAlerts counts alerts lost at the analyzer boundary: raised
+	// while stalled with no spool configured, or overflowing the bounded
+	// spool.
+	DroppedAlerts uint64
+	// SpoolDelivered counts alerts delivered late out of the spool.
+	SpoolDelivered uint64
+	// SpoolPeak is the spool's high-water mark.
+	SpoolPeak int
+
+	cAlerts  *obs.Counter
+	cDropped *obs.Counter // shared ids.analyzer.alerts_dropped
 }
 
 // NewAnalyzer builds one analyzer reporting to monitor.
@@ -79,9 +103,109 @@ func incidentKey(al detect.Alert) string {
 	return fmt.Sprintf("%d/%d/%s", al.Attacker, al.Victim, al.Technique)
 }
 
+// SetStalled pauses (true) or resumes (false) incident folding — the
+// analyzer-stall fault. On resume without a retry loop configured,
+// whatever survived the bounded spool delivers immediately.
+func (a *Analyzer) SetStalled(stalled bool) {
+	a.stalled = stalled
+	if !stalled && a.retryBackoff <= 0 {
+		a.drainSpool()
+	}
+}
+
+// Stalled reports whether the analyzer is currently stalled.
+func (a *Analyzer) Stalled() bool { return a.stalled }
+
+// configureSpool arms the bounded stall spool and its retry/backoff
+// drain loop (the resilience layer's knobs).
+func (a *Analyzer) configureSpool(limit int, backoff, max time.Duration) {
+	a.spoolLimit = limit
+	a.retryBackoff = backoff
+	a.retryMax = max
+}
+
+// deferOrDrop handles alerts submitted while stalled: bounded spooling
+// when configured, explicit accounted loss otherwise.
+func (a *Analyzer) deferOrDrop(alerts []detect.Alert) {
+	for _, al := range alerts {
+		if len(a.spool) >= a.spoolLimit {
+			a.DroppedAlerts++
+			a.cDropped.Inc()
+			continue
+		}
+		a.spool = append(a.spool, al)
+	}
+	if len(a.spool) > a.SpoolPeak {
+		a.SpoolPeak = len(a.spool)
+	}
+	if len(a.spool) > 0 {
+		a.armRetry()
+	}
+}
+
+// armRetry schedules the next spool-drain attempt, if a retry loop is
+// configured and none is pending.
+func (a *Analyzer) armRetry() {
+	if a.retryBackoff <= 0 || a.retryArmed {
+		return
+	}
+	a.retryArmed = true
+	delay := a.curBackoff
+	if delay <= 0 {
+		delay = a.retryBackoff
+	}
+	a.sim.MustSchedule(delay, a.retryFlush)
+}
+
+// retryFlush is one drain attempt: deliver if the stall has cleared,
+// otherwise back off (doubling, capped) and try again. The loop always
+// terminates — it only re-arms while the stall persists, and every
+// injected stall has a scheduled end.
+func (a *Analyzer) retryFlush() {
+	a.retryArmed = false
+	if len(a.spool) == 0 {
+		a.curBackoff = 0
+		return
+	}
+	if a.stalled {
+		a.curBackoff *= 2
+		if a.curBackoff < a.retryBackoff {
+			a.curBackoff = a.retryBackoff
+		}
+		if a.retryMax > 0 && a.curBackoff > a.retryMax {
+			a.curBackoff = a.retryMax
+		}
+		a.armRetry()
+		return
+	}
+	a.drainSpool()
+}
+
+// drainSpool folds every spooled alert, late but delivered.
+func (a *Analyzer) drainSpool() {
+	if len(a.spool) == 0 {
+		return
+	}
+	batch := a.spool
+	a.spool = nil
+	a.curBackoff = 0
+	a.SpoolDelivered += uint64(len(batch))
+	a.fold(batch)
+}
+
 // Submit folds a batch of alerts into open incidents, creating and
-// reporting new incidents as needed.
+// reporting new incidents as needed. A stalled analyzer defers to the
+// bounded spool instead (or accounts the loss).
 func (a *Analyzer) Submit(alerts []detect.Alert) {
+	if a.stalled {
+		a.deferOrDrop(alerts)
+		return
+	}
+	a.fold(alerts)
+}
+
+// fold is the actual correlation pass.
+func (a *Analyzer) fold(alerts []detect.Alert) {
 	now := a.sim.Now()
 	for _, al := range alerts {
 		a.AlertsSeen++
@@ -154,7 +278,24 @@ type Monitor struct {
 	// for automated response.
 	onNotify func(inc *ReportedIncident)
 
+	// Management-channel outage state. The operator-facing Notifications
+	// record is unaffected (the monitor still knows); only the
+	// monitor→console control channel is severed. Spooled incidents are
+	// re-driven with doubling backoff when resilience is on; otherwise
+	// the console deliveries are counted lost.
+	outage        bool
+	mgmtSpool     []*ReportedIncident
+	mgmtLimit     int
+	retryBackoff  time.Duration
+	retryMax      time.Duration
+	curBackoff    time.Duration
+	retryArmed    bool
+	MgmtDropped   uint64 // console deliveries lost to the outage
+	MgmtRetries   uint64 // drain attempts made while the channel was down
+	MgmtDelivered uint64 // console deliveries completed late from the spool
+
 	cIncidents, cNotifications *obs.Counter
+	cMgmtDropped, cMgmtRetries *obs.Counter
 }
 
 // Notification is one operator alert.
@@ -185,7 +326,91 @@ func (m *Monitor) maybeNotify(inc *ReportedIncident) {
 	m.notified[inc] = true
 	m.cNotifications.Inc()
 	m.Notifications = append(m.Notifications, Notification{At: m.sim.Now(), Incident: inc})
-	if m.onNotify != nil {
+	m.dispatchConsole(inc)
+}
+
+// SetMgmtOutage severs (true) or restores (false) the monitor→console
+// management channel. On restore without a retry loop, surviving spooled
+// incidents deliver immediately.
+func (m *Monitor) SetMgmtOutage(out bool) {
+	m.outage = out
+	if !out && m.retryBackoff <= 0 {
+		m.drainMgmtSpool()
+	}
+}
+
+// MgmtOutage reports whether the management channel is currently down.
+func (m *Monitor) MgmtOutage() bool { return m.outage }
+
+// configureMgmtSpool arms the bounded outage spool and retry loop.
+func (m *Monitor) configureMgmtSpool(limit int, backoff, max time.Duration) {
+	m.mgmtLimit = limit
+	m.retryBackoff = backoff
+	m.retryMax = max
+}
+
+// dispatchConsole drives the console hook through the management
+// channel, spooling or accounting the loss during an outage.
+func (m *Monitor) dispatchConsole(inc *ReportedIncident) {
+	if m.onNotify == nil {
+		return
+	}
+	if !m.outage {
+		m.onNotify(inc)
+		return
+	}
+	if len(m.mgmtSpool) < m.mgmtLimit {
+		m.mgmtSpool = append(m.mgmtSpool, inc)
+		m.armMgmtRetry()
+		return
+	}
+	m.MgmtDropped++
+	m.cMgmtDropped.Inc()
+}
+
+func (m *Monitor) armMgmtRetry() {
+	if m.retryBackoff <= 0 || m.retryArmed {
+		return
+	}
+	m.retryArmed = true
+	delay := m.curBackoff
+	if delay <= 0 {
+		delay = m.retryBackoff
+	}
+	m.sim.MustSchedule(delay, m.mgmtRetryFlush)
+}
+
+func (m *Monitor) mgmtRetryFlush() {
+	m.retryArmed = false
+	if len(m.mgmtSpool) == 0 {
+		m.curBackoff = 0
+		return
+	}
+	if m.outage {
+		m.MgmtRetries++
+		m.cMgmtRetries.Inc()
+		m.curBackoff *= 2
+		if m.curBackoff < m.retryBackoff {
+			m.curBackoff = m.retryBackoff
+		}
+		if m.retryMax > 0 && m.curBackoff > m.retryMax {
+			m.curBackoff = m.retryMax
+		}
+		m.armMgmtRetry()
+		return
+	}
+	m.drainMgmtSpool()
+}
+
+func (m *Monitor) drainMgmtSpool() {
+	if len(m.mgmtSpool) == 0 {
+		return
+	}
+	batch := m.mgmtSpool
+	m.mgmtSpool = nil
+	m.curBackoff = 0
+	for _, inc := range batch {
+		m.MgmtDelivered++
 		m.onNotify(inc)
 	}
 }

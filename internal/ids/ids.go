@@ -187,15 +187,26 @@ type IDS struct {
 	// selfEvents records sensor failure/recovery health events.
 	selfEvents []SelfEvent
 
+	// res is the opt-in self-healing layer; nil keeps every hot path on
+	// the exact pre-resilience behaviour.
+	res *resilienceState
+	// alertLossActive, while set by the fault injector, severs the
+	// sensor→analyzer alert path.
+	alertLossActive bool
+
 	// Ingested counts packets offered to the IDS.
 	Ingested uint64
 	// PoolSkipped counts packets the data pool excluded from analysis.
 	PoolSkipped uint64
 	// AlertNetBytes accumulates modeled sensor->analyzer network overhead.
 	AlertNetBytes uint64
+	// AlertsLost counts alerts severed in sensor→analyzer transit by the
+	// alert-loss fault (accounted, never silently dropped).
+	AlertsLost uint64
 
 	// Telemetry instruments; nil (free no-ops) unless Instrument is called.
-	cIngested, cPoolSkipped *obs.Counter
+	cIngested, cPoolSkipped, cAlertsLost *obs.Counter
+	obsReg                               *obs.Registry
 }
 
 // Instrument wires telemetry through every subprocess of the IDS under
@@ -206,17 +217,28 @@ func (s *IDS) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	s.obsReg = reg
 	s.cIngested = reg.Counter("ids.ingested")
 	s.cPoolSkipped = reg.Counter("ids.pool_skipped")
+	s.cAlertsLost = reg.Counter("ids.alerts_lost")
 	for i, sn := range s.sensors {
 		sn.instrument(reg, fmt.Sprintf("ids.sensor.s%d.", i))
 		sn.cPicked = reg.Counter(fmt.Sprintf("ids.balancer.fanout.s%d", i))
 	}
+	// One shared counter across analyzers: the alert path's total drop
+	// accounting, regardless of which analyzer's spool overflowed.
+	dropped := reg.Counter("ids.analyzer.alerts_dropped")
 	for _, a := range s.analyzers {
 		a.cAlerts = reg.Counter(fmt.Sprintf("ids.analyzer.a%d.alerts", a.id))
+		a.cDropped = dropped
 	}
 	s.monitor.cIncidents = reg.Counter("ids.monitor.incidents")
 	s.monitor.cNotifications = reg.Counter("ids.monitor.notifications")
+	s.monitor.cMgmtDropped = reg.Counter("ids.monitor.mgmt_dropped")
+	s.monitor.cMgmtRetries = reg.Counter("ids.monitor.mgmt_retries")
+	if s.res != nil {
+		s.res.instrument(reg)
+	}
 }
 
 // New assembles an IDS from cfg.
@@ -266,6 +288,15 @@ func (s *IDS) deliverFunc(an *Analyzer) func(alerts []detect.Alert) {
 			for _, a := range alerts {
 				s.recorder.arm(a.Flow, s.sim.Now())
 			}
+		}
+		if s.alertLossActive {
+			// The transit path is severed: spool for redelivery when the
+			// resilience layer has room, otherwise account the loss.
+			if s.res == nil || !s.res.spoolBatch(an, alerts) {
+				s.AlertsLost += uint64(len(alerts))
+				s.cAlertsLost.Add(uint64(len(alerts)))
+			}
+			return
 		}
 		if s.cfg.SeparateAnalysis {
 			s.AlertNetBytes += uint64(len(alerts) * 300)
@@ -354,20 +385,31 @@ func (s *IDS) Ingest(p *packet.Packet) bool {
 		s.cPoolSkipped.Inc()
 		return true
 	}
+	picked := s.pickSensor(p)
+	target := picked
+	if s.res != nil {
+		// Health-driven rerouting. The verdict still honours the picked
+		// sensor's failure mode: a down fail-closed sensor blocks its
+		// share of traffic even while analysis is rerouted — resilience
+		// restores detection coverage, not the product's in-line policy.
+		target = s.res.reroute(picked)
+	}
+	target.cPicked.Inc()
 	if s.cfg.BalancerCost > 0 {
 		// Balancer latency is modeled as added delay before sensing;
 		// the packet itself (in-line) is not held, matching a mirroring
 		// balancer. In-line hold cost is modeled by netsim.InlineDevice.
-		sensor := s.pickSensor(p)
-		sensor.cPicked.Inc()
-		s.sim.MustSchedule(s.cfg.BalancerCost, func() { sensor.Offer(p) })
-		return sensor.PassVerdict()
+		s.sim.MustSchedule(s.cfg.BalancerCost, func() { target.Offer(p) })
+		return picked.PassVerdict() && target.PassVerdict()
 	}
-	sensor := s.pickSensor(p)
-	sensor.cPicked.Inc()
-	sensor.Offer(p)
-	return sensor.PassVerdict()
+	target.Offer(p)
+	return picked.PassVerdict() && target.PassVerdict()
 }
+
+// SetAlertLoss arms (true) or clears (false) the alert-loss fault on the
+// sensor→analyzer path. While armed, alert batches are spooled for
+// retry (resilience on) or counted in AlertsLost (resilience off).
+func (s *IDS) SetAlertLoss(active bool) { s.alertLossActive = active }
 
 // SetSensitivity adjusts every sensor engine (centralized management).
 func (s *IDS) SetSensitivity(v float64) error {
@@ -400,6 +442,14 @@ type Stats struct {
 	// SensorBusy is total engine processing time across sensors (sim
 	// time) — the denominator of the scan-throughput telemetry metric.
 	SensorBusy time.Duration
+
+	// Fault accounting: every alert that failed to traverse the pipeline
+	// is in exactly one of these buckets, never silently gone.
+	AlertsLost     uint64 // severed in sensor→analyzer transit
+	AlertsDropped  uint64 // lost at the analyzer boundary (stall/overflow)
+	SpoolDelivered uint64 // delivered late via any spool
+	MgmtDropped    uint64 // console deliveries lost to a mgmt outage
+	SensorDowntime time.Duration
 }
 
 // Stats snapshots the current counters.
@@ -407,15 +457,23 @@ func (s *IDS) Stats() Stats {
 	var st Stats
 	st.Ingested = s.Ingested
 	st.AlertNetBytes = s.AlertNetBytes
+	st.AlertsLost = s.AlertsLost
+	st.MgmtDropped = s.monitor.MgmtDropped
 	for _, sn := range s.sensors {
 		st.Processed += sn.Processed
 		st.SensorDropped += sn.Dropped
 		st.SensorFailures += sn.Failures
 		st.SensorBusy += sn.BusyTime
+		st.SensorDowntime += sn.Downtime()
 	}
 	for _, a := range s.analyzers {
 		st.AlertsRaised += a.AlertsSeen
 		st.StorageBytes += a.StorageBytes
+		st.AlertsDropped += a.DroppedAlerts
+		st.SpoolDelivered += a.SpoolDelivered
+	}
+	if s.res != nil {
+		st.SpoolDelivered += s.res.SpoolDelivered
 	}
 	st.Incidents = len(s.monitor.Incidents)
 	st.Notifications = len(s.monitor.Notifications)

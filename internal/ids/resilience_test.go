@@ -1,0 +1,267 @@
+package ids
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// resilientIDS builds an instrumented two-sensor IDS with the
+// self-healing layer on, using a fast heartbeat and short backoff so
+// tests stay in the millisecond range.
+func resilientIDS(t *testing.T, r Resilience) (*simtime.Sim, *IDS, *obs.Registry) {
+	t.Helper()
+	sim := simtime.New(11)
+	inst, err := New(sim, Config{
+		Name: "res", Sensors: 2, Analyzers: 1, Balancer: BalancerStatic,
+		Engine: func() detect.Engine {
+			return detect.NewSignatureEngine(detect.StandardContentRules(), detect.StandardThresholdRules())
+		},
+		HasConsole: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	inst.Instrument(reg)
+	inst.EnableResilience(r)
+	return sim, inst, reg
+}
+
+func benign(src packet.Addr) *packet.Packet {
+	return &packet.Packet{Src: src, Dst: packet.IPv4(10, 0, 9, 9), Payload: []byte("benign payload")}
+}
+
+func TestRerouteAwayFromDeadSensor(t *testing.T) {
+	sim, inst, reg := resilientIDS(t, Resilience{HeartbeatEvery: 100 * time.Millisecond})
+	// Static balancer: third-octet parity picks the sensor. Crash sensor
+	// 0 before the first heartbeat classifies it.
+	inst.Sensors()[0].InjectCrash()
+	inst.StartHealthLoop()
+
+	inst.Ingest(benign(packet.IPv4(10, 0, 0, 1))) // maps to dead sensor 0 -> reroute
+	inst.Ingest(benign(packet.IPv4(10, 0, 1, 1))) // maps to healthy sensor 1 -> direct
+	inst.StopHealthLoop()
+	sim.Run()
+
+	if got := inst.ResilienceStats().Rerouted; got != 1 {
+		t.Fatalf("Rerouted = %d, want 1", got)
+	}
+	if got := reg.Counter("ids.balancer.rerouted").Value(); got != 1 {
+		t.Fatalf("rerouted counter = %d, want 1", got)
+	}
+	if got := inst.Sensors()[1].Processed; got != 2 {
+		t.Fatalf("healthy sensor processed %d packets, want 2 (own + rerouted)", got)
+	}
+	if got := inst.Sensors()[0].Processed; got != 0 {
+		t.Fatalf("dead sensor processed %d packets, want 0", got)
+	}
+	if inst.ResilienceStats().HealthChecks == 0 {
+		t.Fatal("heartbeat never ticked")
+	}
+}
+
+func TestRerouteKeepsFailClosedVerdict(t *testing.T) {
+	// Rerouting restores detection coverage but must not launder the
+	// product's in-line policy: a dead fail-closed sensor still blocks
+	// its share of traffic.
+	sim := simtime.New(11)
+	inst, err := New(sim, Config{
+		Name: "res", Sensors: 2, Analyzers: 1, Balancer: BalancerStatic,
+		Engine: func() detect.Engine {
+			return detect.NewSignatureEngine(detect.StandardContentRules(), detect.StandardThresholdRules())
+		},
+		FailureMode: FailClosed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.EnableResilience(Resilience{HeartbeatEvery: 100 * time.Millisecond})
+	inst.Sensors()[0].InjectCrash()
+	inst.StartHealthLoop()
+	if inst.Ingest(benign(packet.IPv4(10, 0, 0, 1))) {
+		t.Fatal("rerouted packet passed a down fail-closed sensor")
+	}
+	if inst.ResilienceStats().Rerouted != 1 {
+		t.Fatal("packet was not rerouted")
+	}
+	inst.StopHealthLoop()
+	sim.Run()
+}
+
+func TestAlertLossSpooledAndRedelivered(t *testing.T) {
+	sim, inst, reg := resilientIDS(t, Resilience{RetryBackoff: 100 * time.Millisecond})
+	deliver := inst.deliverFunc(inst.Analyzers()[0])
+	alerts := []detect.Alert{{Technique: "probe", Severity: 0.9, Engine: "sig"}}
+
+	inst.SetAlertLoss(true)
+	deliver(alerts)
+	if inst.AlertsLost != 0 {
+		t.Fatalf("resilient run lost %d alerts during the outage", inst.AlertsLost)
+	}
+	if got := inst.ResilienceStats().Spooled; got != 1 {
+		t.Fatalf("Spooled = %d, want 1", got)
+	}
+	sim.MustSchedule(350*time.Millisecond, func() { inst.SetAlertLoss(false) })
+	sim.Run()
+
+	st := inst.ResilienceStats()
+	if st.SpoolDelivered != 1 {
+		t.Fatalf("SpoolDelivered = %d, want 1", st.SpoolDelivered)
+	}
+	// Retries at 100ms and 300ms found the fault active; the 700ms pass
+	// (backoff doubled 100->200->400) delivered.
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	if got := inst.Analyzers()[0].AlertsSeen; got != 1 {
+		t.Fatalf("analyzer saw %d alerts after redelivery, want 1", got)
+	}
+	if got := reg.Counter("ids.spool.delivered").Value(); got != 1 {
+		t.Fatalf("delivered counter = %d, want 1", got)
+	}
+	if got := inst.Stats().SpoolDelivered; got != 1 {
+		t.Fatalf("Stats().SpoolDelivered = %d, want 1", got)
+	}
+}
+
+func TestAlertLossWithoutResilienceAccountsLoss(t *testing.T) {
+	sim := simtime.New(11)
+	inst, err := New(sim, Config{
+		Name: "bare", Sensors: 1, Analyzers: 1,
+		Engine: func() detect.Engine {
+			return detect.NewSignatureEngine(detect.StandardContentRules(), detect.StandardThresholdRules())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	inst.Instrument(reg)
+	deliver := inst.deliverFunc(inst.Analyzers()[0])
+
+	inst.SetAlertLoss(true)
+	deliver([]detect.Alert{{Technique: "probe"}, {Technique: "flood"}})
+	inst.SetAlertLoss(false)
+	sim.Run()
+
+	if inst.AlertsLost != 2 {
+		t.Fatalf("AlertsLost = %d, want 2", inst.AlertsLost)
+	}
+	if got := reg.Counter("ids.alerts_lost").Value(); got != 2 {
+		t.Fatalf("alerts_lost counter = %d, want 2", got)
+	}
+	if got := inst.Analyzers()[0].AlertsSeen; got != 0 {
+		t.Fatalf("severed path still delivered %d alerts", got)
+	}
+	if got := inst.Stats().AlertsLost; got != 2 {
+		t.Fatalf("Stats().AlertsLost = %d, want 2", got)
+	}
+}
+
+func TestAnalyzerStallSpoolOverflowAccounted(t *testing.T) {
+	sim, inst, reg := resilientIDS(t, Resilience{SpoolLimit: 2, RetryBackoff: 100 * time.Millisecond})
+	an := inst.Analyzers()[0]
+	an.SetStalled(true)
+	an.Submit([]detect.Alert{
+		{Technique: "a"}, {Technique: "b"}, {Technique: "c"}, {Technique: "d"},
+	})
+
+	if an.DroppedAlerts != 2 {
+		t.Fatalf("DroppedAlerts = %d, want 2 (spool limit 2)", an.DroppedAlerts)
+	}
+	if got := reg.Counter("ids.analyzer.alerts_dropped").Value(); got != 2 {
+		t.Fatalf("alerts_dropped counter = %d, want 2", got)
+	}
+	if an.SpoolPeak != 2 {
+		t.Fatalf("SpoolPeak = %d, want 2", an.SpoolPeak)
+	}
+
+	sim.MustSchedule(150*time.Millisecond, func() { an.SetStalled(false) })
+	sim.Run()
+
+	if an.SpoolDelivered != 2 {
+		t.Fatalf("SpoolDelivered = %d, want 2", an.SpoolDelivered)
+	}
+	// Every submitted alert is in exactly one bucket.
+	if an.AlertsSeen+an.DroppedAlerts != 4 {
+		t.Fatalf("accounting leak: seen %d + dropped %d != 4 submitted", an.AlertsSeen, an.DroppedAlerts)
+	}
+	st := inst.Stats()
+	if st.AlertsDropped != 2 || st.SpoolDelivered != 2 {
+		t.Fatalf("Stats dropped/delivered = %d/%d, want 2/2", st.AlertsDropped, st.SpoolDelivered)
+	}
+}
+
+func TestAnalyzerStallWithoutSpoolDropsAll(t *testing.T) {
+	sim := simtime.New(11)
+	inst, err := New(sim, Config{
+		Name: "bare", Sensors: 1, Analyzers: 1,
+		Engine: func() detect.Engine {
+			return detect.NewSignatureEngine(detect.StandardContentRules(), detect.StandardThresholdRules())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	inst.Instrument(reg)
+	an := inst.Analyzers()[0]
+
+	an.SetStalled(true)
+	an.Submit([]detect.Alert{{Technique: "a"}, {Technique: "b"}, {Technique: "c"}})
+	an.SetStalled(false)
+	sim.Run()
+
+	if an.DroppedAlerts != 3 {
+		t.Fatalf("DroppedAlerts = %d, want 3 (no spool configured)", an.DroppedAlerts)
+	}
+	if got := reg.Counter("ids.analyzer.alerts_dropped").Value(); got != 3 {
+		t.Fatalf("alerts_dropped counter = %d, want 3", got)
+	}
+	if an.AlertsSeen != 0 {
+		t.Fatalf("unspooled stall still delivered %d alerts", an.AlertsSeen)
+	}
+}
+
+func TestMgmtOutageSpoolsAndDrainsConsoleDeliveries(t *testing.T) {
+	sim, inst, reg := resilientIDS(t, Resilience{SpoolLimit: 1, RetryBackoff: 100 * time.Millisecond})
+	m := inst.Monitor()
+	an := inst.Analyzers()[0]
+
+	m.SetMgmtOutage(true)
+	// Two distinct incidents above the notify threshold: the first console
+	// delivery spools (limit 1), the second is counted lost.
+	an.Submit([]detect.Alert{{Technique: "probe", Severity: 0.9, Engine: "sig"}})
+	an.Submit([]detect.Alert{{Technique: "flood", Severity: 0.8, Engine: "sig"}})
+
+	if len(m.Notifications) != 2 {
+		t.Fatalf("operator notifications = %d, want 2 (monitor view survives the outage)", len(m.Notifications))
+	}
+	if m.MgmtDropped != 1 {
+		t.Fatalf("MgmtDropped = %d, want 1", m.MgmtDropped)
+	}
+	if got := reg.Counter("ids.monitor.mgmt_dropped").Value(); got != 1 {
+		t.Fatalf("mgmt_dropped counter = %d, want 1", got)
+	}
+
+	sim.MustSchedule(250*time.Millisecond, func() { m.SetMgmtOutage(false) })
+	sim.Run()
+
+	if m.MgmtDelivered != 1 {
+		t.Fatalf("MgmtDelivered = %d, want 1 (spooled incident drained)", m.MgmtDelivered)
+	}
+	if m.MgmtRetries == 0 {
+		t.Fatal("no retry recorded while the channel was down")
+	}
+	if got := reg.Counter("ids.monitor.mgmt_retries").Value(); got != m.MgmtRetries {
+		t.Fatalf("mgmt_retries counter = %d, want %d", got, m.MgmtRetries)
+	}
+	if got := inst.Stats().MgmtDropped; got != 1 {
+		t.Fatalf("Stats().MgmtDropped = %d, want 1", got)
+	}
+}

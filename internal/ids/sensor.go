@@ -51,6 +51,11 @@ type Sensor struct {
 	// SpeedFactor scales processing speed (see Config.SensorSpeedFactor).
 	SpeedFactor float64
 
+	// Fault-injection state. hung suppresses automatic restart until
+	// InjectRecover; slowScale in (0,1) derates processing speed.
+	hung      bool
+	slowScale float64
+
 	// deliver forwards alerts toward the analyzer.
 	deliver func(alerts []detect.Alert)
 	// onStateChange reports failure (false) and recovery (true) to the
@@ -105,6 +110,9 @@ func (s *Sensor) State() SensorState { return s.state }
 // QueueDepth returns pending packets (the dynamic balancer's load signal).
 func (s *Sensor) QueueDepth() int { return s.queueDepth }
 
+// QueueLimit returns the sensor's pending-packet bound.
+func (s *Sensor) QueueLimit() int { return s.queueLimit }
+
 // PassVerdict reports whether an in-line deployment should keep
 // forwarding traffic given this sensor's state: false only for a
 // fail-closed sensor that is down.
@@ -131,6 +139,9 @@ func (s *Sensor) Offer(p *packet.Packet) {
 	cost := s.engine.CostPerPacket(p)
 	if s.SpeedFactor > 0 && s.SpeedFactor != 1 {
 		cost = time.Duration(float64(cost) / s.SpeedFactor)
+	}
+	if s.slowScale > 0 && s.slowScale < 1 {
+		cost = time.Duration(float64(cost) / s.slowScale)
 	}
 	start := now
 	if s.busyUntil > start {
@@ -199,9 +210,11 @@ func (s *Sensor) fail(now simtime.Time) {
 }
 
 // restart revives a failed sensor ("fatal errors cause restart of
-// application(s) or service(s)" — the metric's high-score anchor).
+// application(s) or service(s)" — the metric's high-score anchor). A
+// hung sensor ignores its restart timer: a wedged process does not come
+// back on its own.
 func (s *Sensor) restart() {
-	if s.state != SensorFailed {
+	if s.state != SensorFailed || s.hung {
 		return
 	}
 	s.FailedDuration += s.sim.Now() - s.failedAt
@@ -211,6 +224,39 @@ func (s *Sensor) restart() {
 	if s.onStateChange != nil {
 		s.onStateChange(true)
 	}
+}
+
+// InjectCrash forces the sensor into the failed state, exactly as if the
+// lethal dose had been reached: the product's own RestartAfter (if any)
+// governs recovery, and failure-mode semantics apply unchanged. The
+// sensor cannot tell an injected crash from an organic one — the fault
+// harness's transparency contract.
+func (s *Sensor) InjectCrash() { s.fail(s.sim.Now()) }
+
+// InjectHang wedges the sensor: failed, and deaf to its own restart
+// timer until InjectRecover. Models a process that is alive but stuck,
+// which no watchdog-restart policy can clear.
+func (s *Sensor) InjectHang() {
+	s.hung = true
+	s.fail(s.sim.Now())
+}
+
+// InjectRecover clears a hang (or any failure) and revives the sensor
+// immediately — the injector's "operator intervention" at fault end.
+func (s *Sensor) InjectRecover() {
+	s.hung = false
+	s.restart()
+}
+
+// InjectSlowdown derates processing speed by scale in (0,1) — a sensor
+// limping through a slow restart or resource exhaustion. 0 or >=1
+// restores nominal speed.
+func (s *Sensor) InjectSlowdown(scale float64) {
+	if scale <= 0 || scale >= 1 {
+		s.slowScale = 0
+		return
+	}
+	s.slowScale = scale
 }
 
 // Downtime returns accumulated failed time, including an ongoing outage.

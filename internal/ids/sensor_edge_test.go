@@ -1,0 +1,150 @@
+package ids
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/packet"
+	"repro/internal/simtime"
+)
+
+// edgeSensor builds a lone sensor with the given lethal-dose knobs. The
+// queue limit is zero so every Offer is a drop — the drop-window logic
+// can then be driven one packet at a time.
+func edgeSensor(t *testing.T, lethalRate int, restartAfter time.Duration) (*simtime.Sim, *Sensor) {
+	t.Helper()
+	sim := simtime.New(5)
+	eng := detect.NewSignatureEngine(detect.StandardContentRules(), detect.StandardThresholdRules())
+	s := NewSensor(sim, 0, eng, 0, FailOpen, lethalRate, restartAfter)
+	return sim, s
+}
+
+func offerAt(sim *simtime.Sim, s *Sensor, at time.Duration) {
+	sim.MustSchedule(at-time.Duration(sim.Now()), func() {
+		s.Offer(&packet.Packet{Payload: []byte("x")})
+	})
+}
+
+func TestDropWindowBoundaryExactlyOneSecond(t *testing.T) {
+	// The tumbling window resets only when now-start exceeds 1s
+	// strictly: a drop at exactly start+1s still lands in the window.
+	sim, s := edgeSensor(t, 3, 0)
+	offerAt(sim, s, 0)           // window start, drop 1
+	offerAt(sim, s, time.Second) // exactly 1s later: same window, drop 2
+	offerAt(sim, s, time.Second) // drop 3 -> lethal
+	sim.Run()
+	if s.State() != SensorFailed {
+		t.Fatal("drop at exactly the 1s boundary started a fresh window; want same window (strict >)")
+	}
+
+	// One nanosecond past the boundary does reset.
+	sim2, s2 := edgeSensor(t, 3, 0)
+	offerAt(sim2, s2, 0)
+	offerAt(sim2, s2, time.Second+time.Nanosecond) // new window, count restarts
+	offerAt(sim2, s2, time.Second+time.Nanosecond)
+	sim2.Run()
+	if s2.State() == SensorFailed {
+		t.Fatal("window failed to reset past the 1s boundary")
+	}
+	if s2.dropsThisWindow != 2 {
+		t.Fatalf("dropsThisWindow = %d after reset, want 2", s2.dropsThisWindow)
+	}
+}
+
+func TestLethalRateOnFirstDrop(t *testing.T) {
+	// lethalRate 1: the window's very first drop is already lethal.
+	sim, s := edgeSensor(t, 1, 0)
+	offerAt(sim, s, 0)
+	sim.Run()
+	if s.State() != SensorFailed {
+		t.Fatal("lethalRate=1 sensor survived its first drop")
+	}
+	if s.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", s.Failures)
+	}
+}
+
+func TestRestartAfterZeroNeverRestarts(t *testing.T) {
+	sim, s := edgeSensor(t, 1, 0)
+	offerAt(sim, s, 0)
+	sim.RunUntil(time.Hour)
+	if s.State() != SensorFailed {
+		t.Fatal("restartAfter=0 sensor came back")
+	}
+	if got := s.Downtime(); got != time.Hour {
+		t.Fatalf("ongoing Downtime = %v, want 1h", got)
+	}
+	// Offers to the dead sensor are dropped without rearming anything.
+	before := s.Dropped
+	s.Offer(&packet.Packet{Payload: []byte("x")})
+	if s.Dropped != before+1 || s.State() != SensorFailed {
+		t.Fatal("dead sensor did not account the refused packet")
+	}
+}
+
+func TestDowntimeAcrossMultipleCycles(t *testing.T) {
+	// Two full fail->restart cycles plus an ongoing third outage:
+	// Downtime must be the exact sum.
+	sim, s := edgeSensor(t, 1, 2*time.Second)
+	offerAt(sim, s, 0)             // fail #1 at 0, restart at 2s
+	offerAt(sim, s, 5*time.Second) // fail #2 at 5s, restart at 7s
+	offerAt(sim, s, 9*time.Second) // fail #3 at 9s, restart pending
+	sim.RunUntil(10 * time.Second)
+	if s.Failures != 3 {
+		t.Fatalf("Failures = %d, want 3", s.Failures)
+	}
+	// 2s + 2s completed, plus 1s of the ongoing outage at now=10s.
+	if got := s.Downtime(); got != 5*time.Second {
+		t.Fatalf("Downtime = %v, want 5s", got)
+	}
+	if s.FailedDuration != 4*time.Second {
+		t.Fatalf("FailedDuration (completed outages) = %v, want 4s", s.FailedDuration)
+	}
+	sim.Run() // let the third restart land at 11s
+	if s.State() != SensorUp {
+		t.Fatal("third restart never landed")
+	}
+	if got := s.Downtime(); got != 6*time.Second {
+		t.Fatalf("final Downtime = %v, want 6s", got)
+	}
+}
+
+func TestInjectedHangIgnoresRestartTimer(t *testing.T) {
+	// A hang beats the product's own restart policy: the watchdog fires
+	// and finds the sensor wedged.
+	sim, s := edgeSensor(t, 0, time.Second)
+	sim.MustSchedule(0, s.InjectHang)
+	sim.RunUntil(10 * time.Second)
+	if s.State() != SensorFailed {
+		t.Fatal("hung sensor restarted via its own timer")
+	}
+	s.InjectRecover()
+	if s.State() != SensorUp {
+		t.Fatal("InjectRecover did not revive the hung sensor")
+	}
+	if got := s.Downtime(); got != 10*time.Second {
+		t.Fatalf("hang Downtime = %v, want 10s", got)
+	}
+}
+
+func TestInjectedSlowdownStretchesProcessing(t *testing.T) {
+	sim := simtime.New(5)
+	eng := detect.NewSignatureEngine(detect.StandardContentRules(), detect.StandardThresholdRules())
+	s := NewSensor(sim, 0, eng, 16, FailOpen, 0, 0)
+	p := &packet.Packet{Payload: []byte("hello world")}
+
+	s.Offer(p)
+	nominal := s.BusyTime
+	s.InjectSlowdown(0.25)
+	s.Offer(p)
+	stretched := s.BusyTime - nominal
+	if stretched != nominal*4 {
+		t.Fatalf("slowdown 0.25 cost %v per packet, want 4x nominal %v", stretched, nominal)
+	}
+	s.InjectSlowdown(0)
+	s.Offer(p)
+	if back := s.BusyTime - nominal - stretched; back != nominal {
+		t.Fatalf("cleared slowdown cost %v, want nominal %v", back, nominal)
+	}
+}

@@ -89,6 +89,74 @@ type Link struct {
 	BufferBytes int
 	name        string
 	a, b        *linkDir
+
+	// imp is fault-injection state; nil on the un-faulted path, so an
+	// unimpaired link pays one pointer check per Send.
+	imp *linkImpairment
+}
+
+// linkImpairment is the fault-injection state of a link: a hard
+// partition, a bandwidth derating, or deterministic periodic loss. All
+// three are applied at Send time so in-flight packets committed before
+// injection still arrive — matching a real cable pull, which loses what
+// had not yet been serialized.
+type linkImpairment struct {
+	down      bool
+	bwScale   float64 // multiplies BandwidthBps when in (0,1)
+	dropEvery int     // drop every Nth offered packet; 0 disables
+	dropCount int
+	drops     uint64 // packets discarded by the impairment
+}
+
+// SetDown partitions (true) or heals (false) the link. While down every
+// offered packet is dropped and counted.
+func (l *Link) SetDown(down bool) {
+	l.ensureImpairment().down = down
+}
+
+// SetBandwidthScale derates the link's serialization rate by scale in
+// (0,1); 0 or 1 restores nominal bandwidth.
+func (l *Link) SetBandwidthScale(scale float64) {
+	l.ensureImpairment().bwScale = scale
+}
+
+// SetLossEvery drops every nth offered packet deterministically (n >= 1;
+// n == 1 drops everything). 0 disables injected loss.
+func (l *Link) SetLossEvery(n int) {
+	imp := l.ensureImpairment()
+	imp.dropEvery = n
+	imp.dropCount = 0
+}
+
+// ClearImpairment removes all injected faults, keeping the drop count.
+func (l *Link) ClearImpairment() {
+	if l.imp == nil {
+		return
+	}
+	drops := l.imp.drops
+	l.imp = &linkImpairment{drops: drops}
+	l.imp.bwScale = 0
+	// A fully cleared impairment is equivalent to none; drop back to the
+	// nil fast path once nothing remains to remember.
+	if drops == 0 {
+		l.imp = nil
+	}
+}
+
+// InjectedDrops returns packets discarded by fault injection on this
+// link (both directions).
+func (l *Link) InjectedDrops() uint64 {
+	if l.imp == nil {
+		return 0
+	}
+	return l.imp.drops
+}
+
+func (l *Link) ensureImpairment() *linkImpairment {
+	if l.imp == nil {
+		l.imp = &linkImpairment{}
+	}
+	return l.imp
 }
 
 // LinkConfig parameterizes NewLink.
@@ -180,7 +248,8 @@ func (l *Link) dirFrom(from Endpoint) (*linkDir, error) {
 }
 
 // Send transmits p from the given attached endpoint toward the other side.
-// It reports whether the packet was accepted (false means a buffer drop).
+// It reports whether the packet was accepted (false means a buffer drop
+// or an injected fault).
 func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 	dir, err := l.dirFrom(from)
 	if err != nil {
@@ -188,6 +257,28 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 	}
 	dir.stats.Sent++
 	dir.cSent.Inc()
+	bw := l.BandwidthBps
+	if imp := l.imp; imp != nil {
+		if imp.down {
+			imp.drops++
+			dir.stats.Dropped++
+			dir.cDropped.Inc()
+			return false
+		}
+		if imp.dropEvery > 0 {
+			imp.dropCount++
+			if imp.dropCount >= imp.dropEvery {
+				imp.dropCount = 0
+				imp.drops++
+				dir.stats.Dropped++
+				dir.cDropped.Inc()
+				return false
+			}
+		}
+		if imp.bwScale > 0 && imp.bwScale < 1 {
+			bw *= imp.bwScale
+		}
+	}
 	size := p.WireLen()
 	if dir.queued+size > l.BufferBytes {
 		dir.stats.Dropped++
@@ -201,7 +292,7 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 	if dir.busyUntil > start {
 		start = dir.busyUntil
 	}
-	serialize := time.Duration(float64(size*8) / l.BandwidthBps * float64(time.Second))
+	serialize := time.Duration(float64(size*8) / bw * float64(time.Second))
 	dir.busyUntil = start + serialize
 	arrival := dir.busyUntil + l.Propagation
 	dir.inflight = append(dir.inflight, transmission{p: p, size: size, arrival: arrival})
@@ -276,11 +367,18 @@ func (h *Host) Addr() packet.Addr { return h.addr }
 // SetLink attaches the host's NIC.
 func (h *Host) SetLink(l *Link) { h.link = l }
 
+// HasLink reports whether the host's NIC is attached.
+func (h *Host) HasLink() bool { return h.link != nil }
+
 // Send transmits a packet from this host, stamping Sent time and source
-// address if unset. It reports whether the local link accepted it.
+// address if unset. It reports whether the local link accepted it. A host
+// with no attached link refuses the packet (counted in SendFailed) —
+// wiring mistakes are caught earlier by Topology.Validate, so this is a
+// defensive bound rather than a panic site.
 func (h *Host) Send(p *packet.Packet) bool {
 	if h.link == nil {
-		panic(fmt.Sprintf("netsim: host %q has no link", h.name))
+		h.SendFailed++
+		return false
 	}
 	if p.Src == 0 {
 		p.Src = h.addr

@@ -122,6 +122,41 @@ func BuildTopology(sim *simtime.Sim, cfg TopologyConfig) *Topology {
 	return t
 }
 
+// Validate checks the wiring invariants a built topology must satisfy
+// before traffic runs: every host attached to a link, both trunks
+// present, and both switches holding an uplink. It exists so
+// misconfiguration surfaces as a construction-time error from the
+// harness that assembled the topology instead of a mid-simulation
+// failure deep in a Send path.
+func (t *Topology) Validate() error {
+	if t.routerToLan == nil {
+		return fmt.Errorf("netsim: topology %s: missing router<->LAN trunk", t.LanSwitch.Name())
+	}
+	if t.extTrunk == nil {
+		return fmt.Errorf("netsim: topology %s: missing external trunk", t.ExtSwitch.Name())
+	}
+	for _, h := range t.Cluster {
+		if h.link == nil {
+			return fmt.Errorf("netsim: cluster host %q has no link", h.Name())
+		}
+	}
+	for _, h := range t.External {
+		if h.link == nil {
+			return fmt.Errorf("netsim: external host %q has no link", h.Name())
+		}
+	}
+	return nil
+}
+
+// TrunkLink returns the router<->LAN trunk (the inline-north link after
+// InsertInline) — the backbone segment fault scenarios target as
+// "link:lan-trunk".
+func (t *Topology) TrunkLink() *Link { return t.routerToLan }
+
+// ExtTrunkLink returns the external switch<->router trunk, the segment
+// fault scenarios target as "link:ext-trunk".
+func (t *Topology) ExtTrunkLink() *Link { return t.extTrunk }
+
 // Instrument wires telemetry for the topology's backbone: both trunk
 // links and both switches. Links attached later (SPAN mirror, inline
 // splice) pick the registry up automatically. A nil registry disables

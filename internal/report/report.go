@@ -350,3 +350,99 @@ func IntentProfiles(w io.Writer, profiles []*ids.AttackerProfile) error {
 	}
 	return t.render(w)
 }
+
+// FaultSweepReport renders one product's degradation curve: detection
+// capability, timeliness, and pipeline fault accounting per severity
+// step, followed by the survivability and graceful-degradation evidence.
+// Output is fully deterministic — the faultsweep golden files pin it.
+func FaultSweepReport(w io.Writer, s *eval.FaultSweepResult) error {
+	if _, err := fmt.Fprintf(w, "=== fault sweep: %s under %q ===\n", s.Product, s.Scenario.Name); err != nil {
+		return err
+	}
+	if s.Scenario.Description != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", s.Scenario.Description); err != nil {
+			return err
+		}
+	}
+	resilience := "off"
+	if s.Scenario.Resilience {
+		resilience = "on"
+	}
+	if _, err := fmt.Fprintf(w, "events: %d, resilience: %s\n\n", len(s.Scenario.Events), resilience); err != nil {
+		return err
+	}
+	t := &table{header: []string{
+		"Severity", "Detect %", "FN ratio", "Delay p50/p95",
+		"Lost", "Dropped", "Spooled-out", "Mgmt lost", "Downtime",
+	}}
+	for _, p := range s.Points {
+		t.addRow(
+			fmt.Sprintf("%.2f", p.Severity),
+			fmt.Sprintf("%.1f", p.Accuracy.DetectionRate*100),
+			fmt.Sprintf("%.5f", p.Accuracy.FalseNegativeRatio),
+			fmt.Sprintf("%v / %v", p.Accuracy.DelayP50, p.Accuracy.DelayP95),
+			fmt.Sprintf("%d", p.AlertsLost),
+			fmt.Sprintf("%d", p.AlertsDropped),
+			fmt.Sprintf("%d", p.SpoolDelivered),
+			fmt.Sprintf("%d", p.MgmtDropped),
+			p.SensorDowntime.String(),
+		)
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nretention at full severity: %.1f%% of baseline (survivability score %d)\n",
+		s.Retention()*100, eval.ScoreSurvivability(s.Retention())); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "worst step drop: %.1f%% of baseline (graceful degradation score %d)\n",
+		s.MaxStepDrop()*100, eval.ScoreGracefulDegradation(s.MaxStepDrop())); err != nil {
+		return err
+	}
+	last := s.Points[len(s.Points)-1]
+	if rs := last.Resilience; rs.HealthChecks > 0 {
+		if _, err := fmt.Fprintf(w, "self-healing at full severity: %d health checks, %d rerouted, %d spooled, %d redelivered, %d retries\n",
+			rs.HealthChecks, rs.Rerouted, rs.Spooled, rs.SpoolDelivered, rs.Retries); err != nil {
+			return err
+		}
+	}
+	if len(last.Applied) > 0 {
+		if _, err := fmt.Fprintln(w, "\ninjected at full severity:"); err != nil {
+			return err
+		}
+		at := &table{header: []string{"Kind", "Target", "At", "Until", "Effective"}}
+		for _, a := range last.Applied {
+			until := "-"
+			if a.Until > 0 {
+				until = a.Until.String()
+			}
+			target := a.Target
+			if target == "" {
+				target = "ids"
+			}
+			at.addRow(a.Kind, target, a.At.String(), until, fmt.Sprintf("%.2f", a.Effective))
+		}
+		if err := at.render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// FaultSweepCSV emits the degradation curve for external plotting.
+func FaultSweepCSV(w io.Writer, s *eval.FaultSweepResult) error {
+	if _, err := fmt.Fprintln(w, "severity,detection_rate,fn_ratio,delay_p50_ns,delay_p95_ns,alerts_lost,alerts_dropped,spool_delivered,mgmt_dropped,sensor_downtime_ns"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%.3f,%.5f,%.5f,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Severity, p.Accuracy.DetectionRate, p.Accuracy.FalseNegativeRatio,
+			int64(p.Accuracy.DelayP50), int64(p.Accuracy.DelayP95),
+			p.AlertsLost, p.AlertsDropped, p.SpoolDelivered, p.MgmtDropped,
+			int64(p.SensorDowntime)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -61,10 +61,34 @@ func FuzzReadTrace(f *testing.F) {
 			f.Add(v2.Bytes()[:n])
 		}
 	}
-	f.Add(v2.Bytes()[: v2.Len()-trailerLen]) // no trailer: sequential-scan path
+	f.Add(v2.Bytes()[:v2.Len()-trailerLen]) // no trailer: sequential-scan path
 	f.Add([]byte("IDT2 but not really a trace"))
 	f.Add([]byte("IDTR nor this"))
 	f.Add([]byte{0xff, 0xfe, 0xfd})
+
+	// Mutated seeds: single-byte corruptions of valid streams at
+	// positions landing in the header, chunk bodies, the footer index,
+	// and the trailer. Each must fail (or decode) without panicking or
+	// allocating per the corrupt value.
+	flip := func(b []byte, pos int) []byte {
+		m := append([]byte(nil), b...)
+		m[pos%len(m)] ^= 0xff
+		return m
+	}
+	for _, pos := range []int{5, headerFixedLen + 3, v2.Len() / 3, v2.Len() / 2,
+		v2.Len() - trailerLen - 9, v2.Len() - 3} {
+		f.Add(flip(v2.Bytes(), pos))
+		f.Add(flip(v2small.Bytes(), pos))
+	}
+	// Zero the first chunk's record-count varint (implausible-count path)
+	// and max it out (count-vs-region plausibility path).
+	firstChunkPayload := headerFixedLen + len(tr.Profile) + 5
+	zeroed := append([]byte(nil), v2small.Bytes()...)
+	zeroed[firstChunkPayload] = 0
+	f.Add(zeroed)
+	maxed := append([]byte(nil), v2small.Bytes()...)
+	maxed[firstChunkPayload] = 0xff
+	f.Add(maxed)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Compatibility shim: dispatches on magic, must never panic.
@@ -73,16 +97,20 @@ func FuzzReadTrace(f *testing.F) {
 		}
 		// Stream reader, seekable path (footer index + SeekTo).
 		if rd, err := NewReader(bytes.NewReader(data)); err == nil {
-			n := 0
+			n, clean := 0, false
 			for {
 				c, err := rd.Next()
 				if err != nil {
+					clean = err == io.EOF
 					break
 				}
 				n += len(c.Records)
 				c.Release()
 			}
-			if st, ok := rd.Stats(); ok && rd.rs != nil && st.Packets != uint64(n) {
+			// The footer/body consistency invariant only holds for scans
+			// that reached a clean EOF; a mid-stream decode error leaves
+			// the count legitimately short.
+			if st, ok := rd.Stats(); ok && clean && rd.rs != nil && st.Packets != uint64(n) {
 				t.Fatalf("footer claims %d packets, decoded %d", st.Packets, n)
 			}
 			_ = rd.Incidents()

@@ -54,6 +54,22 @@ const (
 	maxIndexEntries = 1 << 24
 	maxIncidents    = 1 << 20
 
+	// bigBlockLen gates the remaining-bytes cross-check: block-length
+	// claims at or above it are verified against the source size (when
+	// knowable) before the buffer is allocated. Below it, a hostile
+	// length costs at most a small allocation and is caught by ReadFull.
+	bigBlockLen = 1 << 20
+
+	// minRecordEnc is the smallest possible wire encoding of one chunk
+	// record: three 1-byte varints (delta, seq, sent), 16 fixed bytes,
+	// and a 1-byte payload length.
+	minRecordEnc = 20
+
+	// minIncidentEnc is the smallest possible wire encoding of one
+	// incident: two 1-byte string lengths, three 1-byte varints, and 8
+	// fixed address bytes.
+	minIncidentEnc = 13
+
 	headerFixedLen = 4 + 4 + 2 + 8 // magic, version, profile len, seed (profile bytes vary)
 	trailerLen     = 12            // footer offset u64 + trailer magic u32
 )
@@ -480,6 +496,10 @@ type Reader struct {
 	haveIncs  bool
 	index     []ChunkInfo
 
+	// src is the raw source reader, kept so block-length claims can be
+	// checked against the source's remaining bytes before allocating.
+	src io.Reader
+
 	intern     map[string]string
 	strScratch []string
 	chunksRead atomic.Int64
@@ -511,7 +531,7 @@ func (r *Reader) SetObs(reg *obs.Registry) {
 // NewReader opens an IDT2 stream. The header is consumed immediately;
 // if r seeks, the footer index and incident sidecar are loaded up front.
 func NewReader(r io.Reader) (*Reader, error) {
-	rd := &Reader{intern: make(map[string]string)}
+	rd := &Reader{src: r, intern: make(map[string]string)}
 	if rs, ok := r.(io.ReadSeeker); ok {
 		rd.rs = rs
 		base, err := rs.Seek(0, io.SeekCurrent)
@@ -651,6 +671,17 @@ func (r *Reader) readBlockAt(off int64) (byte, []byte, error) {
 	if blen > maxBlockLen {
 		return 0, nil, fmt.Errorf("trace: block length %d exceeds limit", blen)
 	}
+	if blen >= bigBlockLen {
+		if end, err := r.rs.Seek(0, io.SeekEnd); err == nil {
+			rem := end - (off + 5)
+			if _, err := r.rs.Seek(off+5, io.SeekStart); err != nil {
+				return 0, nil, err
+			}
+			if int64(blen) > rem {
+				return 0, nil, fmt.Errorf("trace: block length %d exceeds remaining %d bytes", blen, rem)
+			}
+		}
+	}
 	if cap(r.scratch) < int(blen) {
 		r.scratch = make([]byte, blen)
 	}
@@ -762,6 +793,14 @@ func (r *Reader) Next() (*Chunk, error) {
 		if blen > maxBlockLen {
 			return nil, fmt.Errorf("trace: block length %d exceeds limit", blen)
 		}
+		if blen >= bigBlockLen {
+			// A large claimed length is cross-checked against the bytes
+			// the source can still produce, so a corrupt length field
+			// fails here instead of allocating the claimed size.
+			if rem, ok := remainingBytes(r.br, r.src); ok && uint64(blen) > rem {
+				return nil, fmt.Errorf("trace: block length %d exceeds remaining %d bytes", blen, rem)
+			}
+		}
 		switch hdr[0] {
 		case blockChunk:
 			c := r.getChunk(int(blen))
@@ -844,6 +883,9 @@ func (r *Reader) parseIncidents(payload []byte) error {
 	if n > maxIncidents {
 		return fmt.Errorf("trace: implausible incident count %d", n)
 	}
+	if n*minIncidentEnc > uint64(len(p)) {
+		return fmt.Errorf("trace: incident count %d exceeds block capacity (%d bytes)", n, len(p))
+	}
 	incs := make([]attack.Incident, 0, minU64(n, 4096))
 	for i := uint64(0); i < n; i++ {
 		var in attack.Incident
@@ -914,33 +956,47 @@ func (r *Reader) putChunk(c *Chunk) {
 // decodeChunk parses c.buf in place. Steady-state cost is zero
 // allocations per chunk: the packet slab and record slice are recycled
 // with the chunk, payloads alias the block buffer, and ground-truth
-// strings intern through the reader's table.
+// strings intern through the reader's table. Decode failures carry the
+// chunk's ordinal in the stream and the byte offset within the chunk
+// where parsing stopped, so a corrupt capture points at itself.
 func (r *Reader) decodeChunk(c *Chunk) error {
+	rest, err := r.decodeChunkBody(c)
+	if err != nil {
+		return fmt.Errorf("trace: chunk %d: byte %d/%d: %w",
+			r.chunksRead.Load(), len(c.buf)-len(rest), len(c.buf), err)
+	}
+	return nil
+}
+
+// decodeChunkBody does the parse. On failure it returns the unconsumed
+// remainder alongside the error so decodeChunk can report how far it
+// got; the remainder is meaningless on success.
+func (r *Reader) decodeChunkBody(c *Chunk) ([]byte, error) {
 	p := c.buf
 	count, p, err := readUvarint(p)
 	if err != nil {
-		return fmt.Errorf("trace: chunk count: %w", err)
+		return p, fmt.Errorf("record count: %w", err)
 	}
 	if count == 0 || count > maxChunkRecords {
-		return fmt.Errorf("trace: implausible chunk record count %d", count)
+		return p, fmt.Errorf("implausible record count %d", count)
 	}
 	baseU, p, err := readUvarint(p)
 	if err != nil {
-		return err
+		return p, fmt.Errorf("base timestamp: %w", err)
 	}
 	arenaLen, p, err := readUvarint(p)
 	if err != nil {
-		return err
+		return p, fmt.Errorf("arena length: %w", err)
 	}
 	if arenaLen > uint64(len(p)) {
-		return fmt.Errorf("trace: arena length %d exceeds block", arenaLen)
+		return p, fmt.Errorf("arena length %d exceeds block", arenaLen)
 	}
 	nstr, p, err := readUvarint(p)
 	if err != nil {
-		return err
+		return p, fmt.Errorf("string table size: %w", err)
 	}
-	if nstr > maxChunkStrings {
-		return fmt.Errorf("trace: implausible string table size %d", nstr)
+	if nstr > maxChunkStrings || nstr > uint64(len(p)) {
+		return p, fmt.Errorf("implausible string table size %d", nstr)
 	}
 	// The string table decodes into a reader-owned scratch slice of
 	// interned strings (no allocation for strings seen in prior chunks).
@@ -949,7 +1005,7 @@ func (r *Reader) decodeChunk(c *Chunk) error {
 		var b []byte
 		b, p, err = readBytes(p)
 		if err != nil {
-			return fmt.Errorf("trace: string table: %w", err)
+			return p, fmt.Errorf("string table entry %d: %w", i, err)
 		}
 		s, ok := r.intern[string(b)]
 		if !ok {
@@ -959,6 +1015,19 @@ func (r *Reader) decodeChunk(c *Chunk) error {
 		strs = append(strs, s)
 	}
 	r.strScratch = strs
+
+	// Records region ends where the arena begins. Splitting before the
+	// slab allocation lets the record count be checked against the bytes
+	// actually present, so a hostile count fails before it can size an
+	// allocation.
+	if uint64(len(p)) < arenaLen {
+		return p, errors.New("truncated chunk")
+	}
+	arena := p[uint64(len(p))-arenaLen:]
+	p = p[:uint64(len(p))-arenaLen]
+	if count*minRecordEnc > uint64(len(p)) {
+		return p, fmt.Errorf("record count %d exceeds region capacity (%d bytes)", count, len(p))
+	}
 
 	n := int(count)
 	if cap(c.pkts) < n {
@@ -970,36 +1039,29 @@ func (r *Reader) decodeChunk(c *Chunk) error {
 	}
 	c.Records = c.Records[:n]
 
-	// Records region ends where the arena begins.
-	if uint64(len(p)) < arenaLen {
-		return errors.New("trace: truncated chunk")
-	}
-	arena := p[uint64(len(p))-arenaLen:]
-	p = p[:uint64(len(p))-arenaLen]
-
 	at := time.Duration(baseU)
 	var arenaOff uint64
 	for i := 0; i < n; i++ {
 		var v uint64
 		if v, p, err = readUvarint(p); err != nil {
-			return fmt.Errorf("trace: record %d: %w", i, err)
+			return p, fmt.Errorf("record %d delta: %w", i, err)
 		}
 		if i > 0 {
 			at += time.Duration(v)
 		} else if v != 0 {
-			return errors.New("trace: nonzero first delta")
+			return p, errors.New("nonzero first delta")
 		}
 		pk := &c.pkts[i]
 		*pk = packet.Packet{}
 		if pk.Seq, p, err = readUvarint(p); err != nil {
-			return err
+			return p, fmt.Errorf("record %d seq: %w", i, err)
 		}
 		if v, p, err = readUvarint(p); err != nil {
-			return err
+			return p, fmt.Errorf("record %d sent: %w", i, err)
 		}
 		pk.Sent = time.Duration(v)
 		if len(p) < 16 {
-			return errors.New("trace: truncated record")
+			return p, fmt.Errorf("truncated record %d", i)
 		}
 		pk.Src = packet.Addr(binary.BigEndian.Uint32(p[0:4]))
 		pk.Dst = packet.Addr(binary.BigEndian.Uint32(p[4:8]))
@@ -1013,28 +1075,28 @@ func (r *Reader) decodeChunk(c *Chunk) error {
 		if mal == 1 {
 			pk.Truth.Malicious = true
 			if v, p, err = readUvarint(p); err != nil {
-				return err
+				return p, fmt.Errorf("record %d attack id: %w", i, err)
 			}
 			if v >= uint64(len(strs)) {
-				return fmt.Errorf("trace: attack id index %d out of range", v)
+				return p, fmt.Errorf("record %d attack id index %d out of range", i, v)
 			}
 			pk.Truth.AttackID = strs[v]
 			if v, p, err = readUvarint(p); err != nil {
-				return err
+				return p, fmt.Errorf("record %d technique: %w", i, err)
 			}
 			if v >= uint64(len(strs)) {
-				return fmt.Errorf("trace: technique index %d out of range", v)
+				return p, fmt.Errorf("record %d technique index %d out of range", i, v)
 			}
 			pk.Truth.Technique = strs[v]
 		} else if mal != 0 {
-			return fmt.Errorf("trace: bad malicious flag %d", mal)
+			return p, fmt.Errorf("record %d bad malicious flag %d", i, mal)
 		}
 		var plen uint64
 		if plen, p, err = readUvarint(p); err != nil {
-			return err
+			return p, fmt.Errorf("record %d payload length: %w", i, err)
 		}
 		if arenaOff+plen > arenaLen {
-			return fmt.Errorf("trace: payload overruns arena (%d+%d > %d)", arenaOff, plen, arenaLen)
+			return p, fmt.Errorf("record %d payload overruns arena (%d+%d > %d)", i, arenaOff, plen, arenaLen)
 		}
 		if plen > 0 {
 			pk.Payload = arena[arenaOff : arenaOff+plen : arenaOff+plen]
@@ -1043,12 +1105,12 @@ func (r *Reader) decodeChunk(c *Chunk) error {
 		c.Records[i] = Record{At: at, Pk: pk}
 	}
 	if arenaOff != arenaLen {
-		return fmt.Errorf("trace: arena underrun (%d of %d used)", arenaOff, arenaLen)
+		return p, fmt.Errorf("arena underrun (%d of %d used)", arenaOff, arenaLen)
 	}
 	if len(p) != 0 {
-		return fmt.Errorf("trace: %d trailing bytes in chunk", len(p))
+		return p, fmt.Errorf("%d trailing bytes in chunk", len(p))
 	}
-	return nil
+	return nil, nil
 }
 
 // ---- decode helpers ----
