@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchtrace benchobs ci eval sweep traces faultscenarios faultgolden clean
+.PHONY: all build test race bench benchhot benchtrace benchobs ci eval sweep traces faultscenarios faultgolden campaign-smoke clean
 
 all: build test race
 
@@ -24,7 +24,11 @@ race:
 # guard (telemetry on == telemetry off, byte for byte) — plus the fault
 # harness's two contracts: an empty scenario perturbs nothing
 # (NoFaultDeterminism) and the shipped scenarios reproduce their golden
-# degradation curves byte for byte (faultscenarios).
+# degradation curves byte for byte (faultscenarios) — and the campaign
+# runner's crash-safety contracts: resume is byte-identical, panics are
+# isolated and journaled, cancellation drains cleanly, and the stall
+# watchdog fires (all under -race), finishing with an end-to-end
+# interrupt/resume smoke of the campaign binary itself.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -32,7 +36,9 @@ ci:
 	$(GO) test -run Fuzz ./internal/trace/
 	$(GO) test -race -run 'ConcurrentRegistryUse|DisabledPathAllocFree' ./internal/obs/
 	$(GO) test -race -run 'TelemetryDeterminism|ReplayStdout|NoFaultDeterminism|FaultSweepReproducible' ./internal/eval/
+	$(GO) test -race -run 'CrashResume|ResumeAfterJournaledPanic|Cancellation|Watchdog|ReplayJournal' ./internal/campaign/
 	$(MAKE) faultscenarios
+	$(MAKE) campaign-smoke
 
 # Regenerate every table and figure of the paper.
 bench:
@@ -95,6 +101,23 @@ faultgolden:
 			> examples/faults/golden/$$s.txt; \
 		echo "wrote examples/faults/golden/$$s.txt"; \
 	done
+
+CAMPAIGN_DIR := /tmp/repro-campaign-smoke
+
+# End-to-end crash-safety smoke: plan a tiny campaign, stop it
+# deterministically after one committed experiment (-max 1 stands in
+# for a Ctrl-C at an arbitrary instant), resume, and require the
+# resumed run to report every experiment committed.
+campaign-smoke:
+	rm -rf $(CAMPAIGN_DIR)
+	$(GO) run ./cmd/campaign plan -dir $(CAMPAIGN_DIR) -quick -seed 11 \
+		-products NetRecorder -sweep-points 2
+	$(GO) run ./cmd/campaign run -dir $(CAMPAIGN_DIR) -max 1 > $(CAMPAIGN_DIR)/run.out
+	grep -q '1/2 experiments committed' $(CAMPAIGN_DIR)/run.out
+	$(GO) run ./cmd/campaign resume -dir $(CAMPAIGN_DIR) > $(CAMPAIGN_DIR)/resume.out
+	grep -q '2/2 experiments complete' $(CAMPAIGN_DIR)/resume.out
+	$(GO) run ./cmd/campaign status -dir $(CAMPAIGN_DIR)
+	rm -rf $(CAMPAIGN_DIR)
 
 # Canned-trace workflow (Lesson 2).
 traces:

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -75,7 +76,7 @@ func BenchmarkTable1Logistical(b *testing.B) {
 func BenchmarkTable2Architectural(b *testing.B) {
 	reg := core.StandardRegistry()
 	for i := 0; i < b.N; i++ {
-		ev, err := eval.EvaluateProduct(products.StreamHunter(), reg, eval.Options{Seed: 11, Quick: true})
+		ev, err := eval.EvaluateProduct(context.Background(), products.StreamHunter(), reg, eval.Options{Seed: 11, Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkTable2Architectural(b *testing.B) {
 func BenchmarkTable3Performance(b *testing.B) {
 	reg := core.StandardRegistry()
 	for i := 0; i < b.N; i++ {
-		ev, err := eval.EvaluateProduct(products.TrueSecure(), reg, eval.Options{Seed: 11, Quick: true})
+		ev, err := eval.EvaluateProduct(context.Background(), products.TrueSecure(), reg, eval.Options{Seed: 11, Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func BenchmarkFigure3ErrorRatios(b *testing.B) {
 // the hybrid product (both failure directions visible).
 func BenchmarkFigure4EqualErrorRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sw, err := eval.SensitivitySweep(products.TrueSecure(), eval.SweepOptions{
+		sw, err := eval.SensitivitySweep(context.Background(), products.TrueSecure(), eval.SweepOptions{
 			Seed: 7, Points: 5, TrainFor: 6 * time.Second,
 			RunFor: 14 * time.Second, Pps: 200, Strength: 0.5,
 		})
@@ -324,7 +325,7 @@ func BenchmarkLesson1PayloadRealism(b *testing.B) {
 func BenchmarkFullEvaluation(b *testing.B) {
 	reg := core.StandardRegistry()
 	for i := 0; i < b.N; i++ {
-		evs, err := eval.EvaluateAll(products.All(), reg, eval.Options{Seed: 11, Quick: true})
+		evs, err := eval.EvaluateAll(context.Background(), products.All(), reg, eval.Options{Seed: 11, Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -373,7 +374,7 @@ func BenchmarkAblationLoadBalancing(b *testing.B) {
 			spec.IDS.BalancerCost = 0
 			spec.IDS.SensorSpeedFactor = 0.5
 			for i := 0; i < b.N; i++ {
-				res, err := eval.MeasureThroughput(spec, eval.ThroughputOptions{
+				res, err := eval.MeasureThroughput(context.Background(), spec, eval.ThroughputOptions{
 					Window: 100 * time.Millisecond, LoPps: 500, HiPps: 262144, Seed: 5,
 				})
 				if err != nil {
@@ -562,7 +563,7 @@ func BenchmarkAblationDataPool(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			spec := products.NetRecorder() // capacity-bound signature sensors
 			for i := 0; i < b.N; i++ {
-				res, err := eval.MeasureThroughput(spec, eval.ThroughputOptions{
+				res, err := eval.MeasureThroughput(context.Background(), spec, eval.ThroughputOptions{
 					Window: 100 * time.Millisecond, LoPps: 500, HiPps: 262144,
 					Seed: 5, Profile: traffic.RealTimeCluster(), Pool: v.pool,
 				})

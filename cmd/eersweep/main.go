@@ -7,16 +7,22 @@
 // Usage:
 //
 //	eersweep [-product NetRecorder] [-points 6] [-seed 7] [-csv out.csv]
-//	         [-quick]
+//	         [-quick] [-timeout 5m]
+//
+// Ctrl-C (or -timeout expiry) drains in-flight points at a clean event
+// boundary and prints the partial curve with an INTERRUPTED banner.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/eval"
+	"repro/internal/fsio"
 	"repro/internal/obs"
 	"repro/internal/products"
 	"repro/internal/report"
@@ -29,9 +35,13 @@ func main() {
 	csvFile := flag.String("csv", "", "also write the series as CSV")
 	quick := flag.Bool("quick", false, "shrink run durations")
 	workers := flag.Int("workers", 0, "worker-pool bound (0 = all cores, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -50,20 +60,25 @@ func main() {
 		opts.Strength = 0.5
 	}
 	fmt.Printf("sweeping %s %s across %d sensitivity settings...\n\n", spec.Name, spec.Version, *points)
-	sw, err := eval.SensitivitySweep(spec, opts)
+	sw, err := eval.SensitivitySweep(ctx, spec, opts)
 	if err != nil {
-		fatal(err)
+		if !cli.Interrupted(err) || sw == nil {
+			fatal(err)
+		}
+		if perr := report.ErrorCurves(os.Stdout, sw); perr != nil {
+			fatal(perr)
+		}
+		cli.Banner(os.Stdout, len(sw.Points), *points)
+		os.Exit(1)
 	}
 	if err := report.ErrorCurves(os.Stdout, sw); err != nil {
 		fatal(err)
 	}
 	if *csvFile != "" {
-		f, err := os.Create(*csvFile)
+		err := fsio.WriteAtomic(*csvFile, func(w io.Writer) error {
+			return report.SweepCSV(w, sw)
+		})
 		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := report.SweepCSV(f, sw); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nCSV written to %s\n", *csvFile)

@@ -6,23 +6,29 @@
 //
 //	faultsweep -scenario examples/faults/span-degrade.json
 //	           [-product NAME] [-points N] [-seed N] [-quick] [-workers N]
-//	           [-csv] [-telemetry]
+//	           [-csv] [-o FILE] [-telemetry] [-timeout 5m]
 //
 // Output on stdout is fully deterministic for a given seed, scenario,
 // and point count: identical invocations produce byte-identical output
 // (the Makefile's faultscenarios target pins the shipped examples to
 // golden files). Telemetry export goes to stderr only and never
-// perturbs stdout.
+// perturbs stdout. -o writes the report or CSV to a file atomically
+// (temp + rename), so a crash never leaves a torn file. Ctrl-C (or
+// -timeout expiry) drains in-flight points at a clean event boundary
+// and prints the completed points with an INTERRUPTED banner.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/eval"
 	"repro/internal/faults"
+	"repro/internal/fsio"
 	"repro/internal/obs"
 	"repro/internal/products"
 	"repro/internal/report"
@@ -36,9 +42,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink run durations (smoke-test scale)")
 	workers := flag.Int("workers", 0, "worker-pool bound (0 = all cores, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit the curve as CSV instead of the report")
+	outFile := flag.String("o", "", "write the report/CSV to this file (atomic) instead of stdout")
 	telemetry := flag.Bool("telemetry", false, "dump survivability telemetry (Prometheus text) to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
 	kinds := flag.Bool("kinds", false, "list fault kinds and exit")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	if *kinds {
 		for _, k := range faults.Kinds() {
@@ -68,17 +79,27 @@ func main() {
 		opts.AttackFor = 20 * time.Second
 		opts.Pps = 300
 	}
-	sw, err := eval.FaultSweep(spec, sc, opts)
+	sw, err := eval.FaultSweep(ctx, spec, sc, opts)
 	if err != nil {
-		fatal(err)
+		if !cli.Interrupted(err) || sw == nil {
+			fatal(err)
+		}
+		// Keep only the points that finished before cancellation; their
+		// rows carry their own severity labels, so the prefix is honest.
+		done := &eval.FaultSweepResult{Product: sw.Product, Scenario: sw.Scenario}
+		for _, p := range sw.Points {
+			if p != nil {
+				done.Points = append(done.Points, p)
+			}
+		}
+		if perr := emit(done, *csv, ""); perr != nil {
+			fatal(perr)
+		}
+		cli.Banner(os.Stdout, len(done.Points), *points)
+		os.Exit(1)
 	}
 
-	if *csv {
-		err = report.FaultSweepCSV(os.Stdout, sw)
-	} else {
-		err = report.FaultSweepReport(os.Stdout, sw)
-	}
-	if err != nil {
+	if err := emit(sw, *csv, *outFile); err != nil {
 		fatal(err)
 	}
 
@@ -89,6 +110,21 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// emit renders the curve as CSV or the human report, to stdout or — when
+// path is non-empty — atomically to a file.
+func emit(sw *eval.FaultSweepResult, csv bool, path string) error {
+	render := report.FaultSweepReport
+	if csv {
+		render = report.FaultSweepCSV
+	}
+	if path == "" {
+		return render(os.Stdout, sw)
+	}
+	return fsio.WriteAtomic(path, func(w io.Writer) error {
+		return render(w, sw)
+	})
 }
 
 func fatal(err error) {

@@ -7,12 +7,14 @@
 // Usage:
 //
 //	idseval [-quick] [-seed N] [-workers N] [-class logistical|architectural|performance|all]
-//	        [-posture realtime|distributed|uniform] [-product NAME] [-tables]
+//	        [-posture realtime|distributed|uniform] [-product NAME] [-tables] [-timeout 10m]
 //
 // Evaluations fan out across every core by default; -workers 1 forces
 // the serial path. Either way the output is bit-identical for a given
 // seed — every experiment owns its simulation and derives its RNG
-// streams from the seed alone.
+// streams from the seed alone. Ctrl-C (or -timeout expiry) drains
+// in-flight experiments at a clean event boundary and prints the
+// completed product reports with an INTERRUPTED banner.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -33,6 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink experiment durations (smoke-test scale)")
 	seed := flag.Int64("seed", 11, "simulation seed")
 	workers := flag.Int("workers", 0, "worker-pool bound for parallel evaluation (0 = all cores, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this wall-clock duration (0 = none)")
 	class := flag.String("class", "all", "matrix class to print: logistical, architectural, performance, all")
 	posture := flag.String("posture", "realtime", "weighting posture: realtime, distributed, uniform")
 	product := flag.String("product", "", "evaluate only the named product")
@@ -42,6 +46,9 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -77,11 +84,27 @@ func main() {
 		len(field), reg.Len(), *seed, *quick)
 
 	collect := *telemetry || *telemetryJSONL != ""
-	evs, err := eval.EvaluateAll(field, reg, eval.Options{
+	evs, err := eval.EvaluateAll(ctx, field, reg, eval.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Telemetry: collect,
 	})
 	if err != nil {
-		fatal(err)
+		if !cli.Interrupted(err) || evs == nil {
+			fatal(err)
+		}
+		// Print every product that finished before the interrupt, then
+		// the banner; rankings over a partial field would mislead.
+		done := 0
+		for _, ev := range evs {
+			if ev == nil {
+				continue
+			}
+			if perr := report.EvaluationReport(out, ev); perr != nil {
+				fatal(perr)
+			}
+			done++
+		}
+		cli.Banner(out, done, len(field))
+		os.Exit(1)
 	}
 
 	cards := make([]*core.Scorecard, len(evs))
@@ -194,15 +217,7 @@ func dumpTelemetry(evs []*eval.ProductEvaluation, prom bool, jsonlPath string) e
 		}
 	}
 	if jsonlPath != "" {
-		f, err := os.Create(jsonlPath)
-		if err != nil {
-			return err
-		}
-		if err := merged.WriteJSONL(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return merged.WriteJSONLFile(jsonlPath)
 	}
 	return nil
 }

@@ -12,7 +12,11 @@
 // Usage:
 //
 //	replay -trace trace.idtr [-product TrueSecure] [-sensitivity 0.6]
-//	       [-train 15] [-seed 11]
+//	       [-train 15] [-seed 11] [-timeout 5m]
+//
+// Ctrl-C (or -timeout expiry) halts the replay at a clean event
+// boundary and exits without a result — a partially replayed trace is
+// not scoreable.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/products"
@@ -37,9 +42,13 @@ func main() {
 	seed := flag.Int64("seed", 11, "testbed seed")
 	telemetry := flag.Bool("telemetry", false, "dump the telemetry snapshot (Prometheus text) to stderr")
 	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
+	timeout := flag.Duration("timeout", 0, "abort the replay after this wall-clock duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	if *traceFile == "" {
 		fatal(fmt.Errorf("-trace is required"))
@@ -85,7 +94,7 @@ func main() {
 		fmt.Printf("replaying %q: %d packets, %d incidents, %v span (profile %s, seed %d)\n\n",
 			*traceFile, st.Packets, len(rd.Incidents()), st.Duration().Round(time.Millisecond),
 			rd.Profile(), rd.Seed())
-		res, err = eval.RunTraceAccuracyStream(spec, rd, *sensitivity,
+		res, err = eval.RunTraceAccuracyStream(ctx, spec, rd, *sensitivity,
 			time.Duration(*trainSecs*float64(time.Second)), *seed, reg)
 		if err != nil {
 			fatal(err)
@@ -104,7 +113,7 @@ func main() {
 		fmt.Printf("replaying %q: %d packets, %d incidents, %v span (profile %s, seed %d)\n\n",
 			*traceFile, s.Packets, s.Incidents, s.Duration.Round(time.Millisecond), tr.Profile, tr.Seed)
 		sp = reg.StartSpan("replay.run")
-		res, err = eval.RunTraceAccuracy(spec, tr, *sensitivity,
+		res, err = eval.RunTraceAccuracy(ctx, spec, tr, *sensitivity,
 			time.Duration(*trainSecs*float64(time.Second)), *seed)
 		if err != nil {
 			fatal(err)
@@ -141,15 +150,7 @@ func dumpTelemetry(snap *obs.Snapshot, prom bool, jsonlPath string) error {
 		}
 	}
 	if jsonlPath != "" {
-		f, err := os.Create(jsonlPath)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteJSONL(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return snap.WriteJSONLFile(jsonlPath)
 	}
 	return nil
 }

@@ -13,15 +13,23 @@
 //	trafficgen -o trace.idtr [-profile ecommerce|cluster] [-seconds 60]
 //	           [-pps 600] [-seed 21] [-attacks] [-strength 1.0]
 //	           [-random-payloads] [-json] [-hosts 6] [-external 3]
+//	           [-timeout 5m]
+//
+// File output is atomic: the trace streams into a temp file in the
+// output directory and is renamed into place only after the footer is
+// written, so a crash or Ctrl-C never leaves a torn trace at -o.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cli"
+	"repro/internal/fsio"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
@@ -43,9 +51,13 @@ func main() {
 	external := flag.Int("external", 3, "external host count")
 	telemetry := flag.Bool("telemetry", false, "dump generation telemetry (Prometheus text) to stderr")
 	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
+	timeout := flag.Duration("timeout", 0, "abort generation after this wall-clock duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	if *out == "" {
 		fatal(fmt.Errorf("-o is required"))
@@ -70,18 +82,26 @@ func main() {
 		profile = profile.WithRandomPayloads()
 	}
 
-	var f *os.File
+	// File output goes through an atomic temp file: commit renames it
+	// into place, and any fatal path (including Ctrl-C) aborts the temp
+	// so -o never holds a torn trace.
+	var f io.Writer
+	commit := func() error { return nil }
 	if *out == "-" {
 		f = os.Stdout
 	} else {
-		f, err = os.Create(*out)
+		af, err := fsio.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer af.Abort()
+		cleanup = af.Abort // fatal exits without running defers
+		f = af
+		commit = af.Commit
 	}
 
 	sim := simtime.New(*seed)
+	sim.SetInterrupt(ctx.Err)
 	var emit func(p *packet.Packet)
 	var rec *trace.Recorder        // JSON path: whole trace in memory
 	var srec *trace.StreamRecorder // binary path: O(chunk) streaming
@@ -127,6 +147,9 @@ func main() {
 	gen.Stop()
 	sim.Run()
 	sp.End()
+	if err := sim.Interrupted(); err != nil {
+		fatal(fmt.Errorf("generation interrupted (%v) — no trace written", err))
+	}
 
 	if *asJSON {
 		if camp != nil {
@@ -137,6 +160,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace: %d packets (%d malicious) over %v, %d incidents, %.0f pps avg, %d bytes\n",
 			s.Packets, s.MaliciousPkts, s.Duration.Round(time.Millisecond), s.Incidents, s.AvgPps, s.Bytes)
 		if err := tr.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := commit(); err != nil {
 			fatal(err)
 		}
 		publishTraceStats(reg, uint64(s.Packets), uint64(s.MaliciousPkts), uint64(s.Bytes), 0)
@@ -153,6 +179,9 @@ func main() {
 		incidents = len(camp.Incidents())
 	}
 	if err := sw.Close(); err != nil {
+		fatal(err)
+	}
+	if err := commit(); err != nil {
 		fatal(err)
 	}
 	s := sw.Stats()
@@ -185,15 +214,7 @@ func finish(reg *obs.Registry, prom bool, jsonlPath string, stopProf func() erro
 		}
 	}
 	if jsonlPath != "" {
-		jf, err := os.Create(jsonlPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := snap.WriteJSONL(jf); err != nil {
-			jf.Close()
-			fatal(err)
-		}
-		if err := jf.Close(); err != nil {
+		if err := snap.WriteJSONLFile(jsonlPath); err != nil {
 			fatal(err)
 		}
 	}
@@ -210,7 +231,14 @@ func externalAddr(i int) packet.Addr {
 	return packet.IPv4(203, 0, byte(i/250+1), byte(i%250+1))
 }
 
+// cleanup aborts the in-progress atomic trace write on fatal exit, so
+// no .tmp file is left behind.
+var cleanup func()
+
 func fatal(err error) {
+	if cleanup != nil {
+		cleanup()
+	}
 	fmt.Fprintln(os.Stderr, "trafficgen:", err)
 	os.Exit(1)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,7 +26,7 @@ func main() {
 	// evaluation is against a static set of metrics, so re-weighting for
 	// the next customer costs nothing.
 	fmt.Println("evaluating the product field (quick mode)...")
-	evs, err := eval.EvaluateAll(products.All(), reg, eval.Options{Seed: 11, Quick: true})
+	evs, err := eval.EvaluateAll(context.Background(), products.All(), reg, eval.Options{Seed: 11, Quick: true})
 	if err != nil {
 		log.Fatal(err)
 	}

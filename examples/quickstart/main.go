@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 	// 3. Run the full measurement harness: accuracy campaign, throughput
 	//    search, lethal dose, induced latency, host impact, sensitivity
 	//    sweep. Quick mode shrinks durations for a fast demo.
-	ev, err := eval.EvaluateProduct(spec, reg, eval.Options{Seed: 11, Quick: true})
+	ev, err := eval.EvaluateProduct(context.Background(), spec, reg, eval.Options{Seed: 11, Quick: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 	spec := products.TrueSecure()
 
 	fmt.Printf("sweeping %s sensitivity (this runs %d full testbed experiments)...\n\n", spec.Name, 5)
-	sw, err := eval.SensitivitySweep(spec, eval.SweepOptions{
+	sw, err := eval.SensitivitySweep(context.Background(), spec, eval.SweepOptions{
 		Seed:     7,
 		Points:   5,
 		TrainFor: 8 * time.Second,

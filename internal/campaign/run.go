@@ -1,0 +1,430 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsio"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Runner executes a campaign in a directory, resuming from whatever
+// the journal already committed.
+type Runner struct {
+	Dir  string
+	Spec *Spec
+	// Workers bounds the experiment-level pool (0 = all cores). Each
+	// experiment's own internal fan-out is forced serial, so the
+	// campaign is the only source of parallelism.
+	Workers int
+	// MaxAttempts bounds retries per experiment (default 2: one retry).
+	MaxAttempts int
+	// Backoff sleeps before each retry, doubling per attempt (default
+	// 100ms; tests shrink it).
+	Backoff time.Duration
+	// StallTimeout cancels an attempt whose simulation stops making
+	// progress — no heartbeat (kernel interrupt check) for this long
+	// (default 2m; 0 keeps the default, negative disables).
+	StallTimeout time.Duration
+	// Grace is how long a cancelled attempt gets to drain before its
+	// goroutine is abandoned (default 5s).
+	Grace time.Duration
+	// MaxNew, when > 0, stops the campaign cleanly after that many
+	// newly committed experiments — a deterministic interruption for
+	// smoke tests and incremental runs.
+	MaxNew int
+	// Obs, when set, receives campaign instrumentation: experiments
+	// completed/failed/retried/skipped counters and the checkpoint
+	// write-latency histogram.
+	Obs *obs.Registry
+	// Log, when set, receives one progress line per experiment verdict
+	// (stderr in the CLI). Never part of the report.
+	Log io.Writer
+
+	// crashAfter simulates a hard crash (no drain, no further
+	// journaling) after N journal appends — the resume tests' kill
+	// switch.
+	crashAfter int
+	// execOverride substitutes experiment execution in tests.
+	execOverride func(ctx context.Context, ex Experiment) (*Result, error)
+
+	appended atomic.Int64
+	stopped  atomic.Bool
+	journal  *fsio.AppendFile
+	mu       sync.Mutex // serializes journal appends
+}
+
+// Outcome summarizes one Run call.
+type Outcome struct {
+	Planned int
+	// Skipped experiments were already journaled done before this run.
+	Skipped int
+	// Completed experiments were committed by this run.
+	Completed int
+	// Failed experiments exhausted their attempts this run.
+	Failed []string
+	// Retries counts extra attempts consumed across all experiments.
+	Retries int
+	// Stopped is set when the run ended early: cancellation, MaxNew
+	// reached, or an injected crash.
+	Stopped bool
+}
+
+// ErrCrashInjected is returned when the test-only crash hook fires.
+var ErrCrashInjected = errors.New("campaign: injected crash")
+
+// errStalled marks a watchdog cancellation (vs. parent cancellation).
+var errStalled = errors.New("campaign: stall watchdog expired")
+
+func (r *Runner) applyDefaults() {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 2
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 100 * time.Millisecond
+	}
+	if r.StallTimeout == 0 {
+		r.StallTimeout = 2 * time.Minute
+	}
+	if r.Grace <= 0 {
+		r.Grace = 5 * time.Second
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Run executes every experiment the journal has not committed, honoring
+// ctx for graceful shutdown: on cancellation, in-flight simulations
+// halt at the kernel's interrupt stride, their completions are NOT
+// journaled (they re-run on resume), and the journal is left at the
+// last fully committed experiment. Failed experiments do not cancel
+// their siblings; Run reports them in the outcome and error.
+func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
+	r.applyDefaults()
+	if r.Spec == nil {
+		spec, err := LoadPlan(r.Dir)
+		if err != nil {
+			return nil, err
+		}
+		r.Spec = spec
+	}
+	exps, err := r.Spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(resultsDir(r.Dir), 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	done, _, valid, err := replayJournal(r.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// A torn final append (kill -9 mid-write) leaves a fragment with no
+	// trailing newline; truncate it so the next append starts a fresh
+	// line instead of concatenating into corruption.
+	if fi, serr := os.Stat(journalFile(r.Dir)); serr == nil && fi.Size() > valid {
+		if terr := os.Truncate(journalFile(r.Dir), valid); terr != nil {
+			return nil, fmt.Errorf("campaign: truncating torn journal tail: %w", terr)
+		}
+	}
+
+	out := &Outcome{Planned: len(exps)}
+	var pending []Experiment
+	for _, ex := range exps {
+		if e, ok := done[ex.ID]; ok && e.Status == StatusDone {
+			out.Skipped++
+			continue
+		}
+		pending = append(pending, ex)
+	}
+	r.count("campaign.skipped", out.Skipped)
+	r.logf("campaign %s: %d experiments planned, %d already done, %d to run",
+		r.Spec.Name, out.Planned, out.Skipped, len(pending))
+	if len(pending) == 0 {
+		return out, nil
+	}
+
+	jf, err := fsio.OpenAppend(journalFile(r.Dir))
+	if err != nil {
+		return nil, err
+	}
+	r.journal = jf
+	defer jf.Close()
+
+	// stop cancels the remaining experiments without marking the parent
+	// ctx — used by MaxNew and the crash hook.
+	runCtx, stop := context.WithCancelCause(ctx)
+	defer stop(nil)
+
+	var mu sync.Mutex
+	errs := par.ForEachAll(runCtx, len(pending), r.Workers, func(ctx context.Context, i int) error {
+		verdict, retries, err := r.runOne(ctx, pending[i])
+		mu.Lock()
+		defer mu.Unlock()
+		out.Retries += retries
+		switch {
+		case err == nil && verdict:
+			out.Completed++
+			if r.MaxNew > 0 && out.Completed >= r.MaxNew {
+				stop(context.Canceled)
+			}
+		case errors.Is(err, ErrCrashInjected):
+			stop(context.Canceled)
+		case err != nil && !isCancel(err):
+			out.Failed = append(out.Failed, pending[i].ID)
+		}
+		return err
+	})
+
+	if r.stopped.Load() {
+		out.Stopped = true
+		return out, ErrCrashInjected
+	}
+	var firstCancel error
+	realFailures := 0
+	for _, e := range errs {
+		if e == nil || errors.Is(e, ErrCrashInjected) {
+			continue
+		}
+		if isCancel(e) {
+			if firstCancel == nil {
+				firstCancel = e
+			}
+			continue
+		}
+		realFailures++
+	}
+	if ctx.Err() != nil {
+		out.Stopped = true
+		return out, ctx.Err()
+	}
+	if firstCancel != nil && r.MaxNew > 0 {
+		// MaxNew tripped the internal stop; a clean, expected outcome.
+		out.Stopped = true
+		return out, nil
+	}
+	if realFailures > 0 {
+		return out, fmt.Errorf("campaign: %d of %d experiments failed permanently (see journal)", realFailures, len(pending))
+	}
+	if firstCancel != nil {
+		out.Stopped = true
+		return out, firstCancel
+	}
+	return out, nil
+}
+
+// runOne drives one experiment through its attempts. It returns
+// (committed, retriesUsed, err); a cancellation error means the
+// experiment neither succeeded nor failed — it re-runs on resume.
+func (r *Runner) runOne(ctx context.Context, ex Experiment) (bool, int, error) {
+	retries := 0
+	backoff := r.Backoff
+	for attempt := 1; ; attempt++ {
+		start := time.Now()
+		res, err := r.attempt(ctx, ex)
+		elapsed := time.Since(start)
+
+		if err == nil {
+			if cerr := r.commit(ex, res, attempt, elapsed); cerr != nil {
+				return false, retries, cerr
+			}
+			r.count("campaign.completed", 1)
+			r.logf("  done  %-40s (attempt %d, %v)", ex.ID, attempt, elapsed.Round(time.Millisecond))
+			return true, retries, nil
+		}
+
+		// Parent cancellation: stop quietly, do not journal — the
+		// experiment is simply unfinished.
+		if isCancel(err) && !errors.Is(err, errStalled) {
+			return false, retries, err
+		}
+
+		entry := Entry{ID: ex.ID, Status: StatusFailed, Attempt: attempt,
+			Error: err.Error(), ElapsedMs: elapsed.Milliseconds()}
+		var pe *PanicError
+		switch {
+		case errors.As(err, &pe):
+			entry.Status = StatusPanicked
+			entry.Stack = pe.Stack
+		case errors.Is(err, errStalled):
+			entry.Status = StatusTimeout
+		}
+		if jerr := r.append(entry); jerr != nil {
+			return false, retries, jerr
+		}
+		r.logf("  %s %-40s attempt %d: %v", entry.Status, ex.ID, attempt, err)
+
+		if attempt >= r.MaxAttempts {
+			r.count("campaign.failed", 1)
+			return false, retries, fmt.Errorf("campaign: %s failed after %d attempts: %w", ex.ID, attempt, err)
+		}
+		retries++
+		r.count("campaign.retried", 1)
+		select {
+		case <-ctx.Done():
+			return false, retries, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// PanicError wraps a recovered experiment panic; the stack goes into
+// the journal so a crash-looping experiment is diagnosable after the
+// fact.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (p *PanicError) Error() string { return "panic: " + p.Value }
+
+// attempt executes the experiment once under panic isolation and the
+// stall watchdog. The experiment body runs on its own goroutine writing
+// to a buffered channel: if a wedged simulation ignores cancellation,
+// the goroutine is abandoned after Grace (it can only write to the
+// buffered channel, never to shared state) instead of hanging the
+// campaign.
+func (r *Runner) attempt(parent context.Context, ex Experiment) (*Result, error) {
+	ctx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+
+	// The watchdog distinguishes slow-but-progressing from wedged: the
+	// simulation kernel beats on every interrupt check, so only a sim
+	// that stopped executing events (or a non-sim hang) trips it.
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	if r.StallTimeout > 0 {
+		ctx = par.WithHeartbeat(ctx, func() {
+			lastBeat.Store(time.Now().UnixNano())
+		})
+		wdDone := make(chan struct{})
+		defer close(wdDone)
+		go func() {
+			tick := time.NewTicker(r.StallTimeout / 4)
+			defer tick.Stop()
+			for {
+				select {
+				case <-wdDone:
+					return
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					idle := time.Since(time.Unix(0, lastBeat.Load()))
+					if idle > r.StallTimeout {
+						cancel(fmt.Errorf("%w: no progress for %v in %s", errStalled, idle.Round(time.Millisecond), ex.ID))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}}
+			}
+		}()
+		res, err := r.execute(ctx, ex)
+		ch <- outcome{res, err}
+	}()
+
+	finish := func(o outcome) (*Result, error) {
+		if o.err != nil && context.Cause(ctx) != nil && errors.Is(context.Cause(ctx), errStalled) {
+			// Attribute the cancellation to the watchdog, not the
+			// generic context error the sim surfaced.
+			return nil, context.Cause(ctx)
+		}
+		return o.res, o.err
+	}
+	select {
+	case o := <-ch:
+		return finish(o)
+	case <-ctx.Done():
+		select {
+		case o := <-ch:
+			return finish(o)
+		case <-time.After(r.Grace):
+			cause := context.Cause(ctx)
+			return nil, fmt.Errorf("campaign: %s abandoned %v after cancellation: %w",
+				ex.ID, r.Grace, cause)
+		}
+	}
+}
+
+// commit persists an experiment: result file first (atomic), then the
+// journal line (durable append). A crash between the two leaves an
+// orphaned result file and no journal line — the experiment re-runs on
+// resume and atomically overwrites the orphan with identical bytes.
+func (r *Runner) commit(ex Experiment, res *Result, attempt int, elapsed time.Duration) error {
+	b, err := res.encode()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = fsio.WriteAtomic(resultFile(r.Dir, ex.ID), func(w io.Writer) error {
+		_, werr := w.Write(b)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	if jerr := r.append(Entry{ID: ex.ID, Status: StatusDone, Attempt: attempt,
+		ElapsedMs: elapsed.Milliseconds()}); jerr != nil {
+		return jerr
+	}
+	if r.Obs != nil {
+		r.Obs.Histogram("campaign.checkpoint_write_ns", obs.ClockWall).ObserveDuration(time.Since(start))
+	}
+	return nil
+}
+
+// append serializes and durably appends one journal entry, honoring
+// the injected-crash hook.
+func (r *Runner) append(e Entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped.Load() {
+		return ErrCrashInjected
+	}
+	b, err := jsonMarshalLine(e)
+	if err != nil {
+		return err
+	}
+	if err := r.journal.Append(b); err != nil {
+		return err
+	}
+	if n := r.appended.Add(1); r.crashAfter > 0 && int(n) >= r.crashAfter {
+		r.stopped.Store(true)
+		return ErrCrashInjected
+	}
+	return nil
+}
+
+func (r *Runner) count(name string, n int) {
+	if r.Obs != nil && n > 0 {
+		r.Obs.Counter(name).Add(uint64(n))
+	}
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

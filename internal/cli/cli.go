@@ -1,0 +1,47 @@
+// Package cli holds the pieces every command-line tool shares: a
+// signal-aware root context with an optional deadline, the test for
+// "was this a cancellation, not a failure", and the INTERRUPTED banner
+// convention for partial results.
+//
+// Commands pass the context into the eval entry points; the simulation
+// kernel polls it at its interrupt stride, so Ctrl-C (or -timeout
+// expiry) drains in-flight experiments at a clean event boundary
+// instead of killing the process mid-write.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Context returns the root context for a command: cancelled on SIGINT
+// or SIGTERM, and additionally bounded by timeout when positive. The
+// returned stop func releases the signal handler, so a second Ctrl-C
+// after the first falls through to the runtime's default (immediate)
+// handling — the escape hatch when a drain itself wedges.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, timeout)
+		return tctx, func() { cancel(); stop() }
+	}
+	return ctx, stop
+}
+
+// Interrupted reports whether err stems from cancellation — Ctrl-C,
+// SIGTERM, or a -timeout deadline — rather than a real failure, so
+// commands can print partial results instead of an error.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Banner prints the standard interruption banner after partial output.
+func Banner(w io.Writer, done, total int) {
+	fmt.Fprintf(w, "\nINTERRUPTED after %d/%d experiments — results above are partial\n", done, total)
+}

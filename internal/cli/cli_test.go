@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestInterruptedClassifiesContextErrors(t *testing.T) {
+	if !Interrupted(context.Canceled) || !Interrupted(context.DeadlineExceeded) {
+		t.Fatal("context cancellation and deadline must read as interruptions")
+	}
+	if !Interrupted(fmt.Errorf("sweep: %w", context.Canceled)) {
+		t.Fatal("wrapped cancellation must read as an interruption")
+	}
+	if Interrupted(errors.New("disk on fire")) || Interrupted(nil) {
+		t.Fatal("ordinary errors and nil are not interruptions")
+	}
+}
+
+func TestContextTimeoutExpires(t *testing.T) {
+	ctx, stop := Context(time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("-timeout context never expired")
+	}
+	if !Interrupted(ctx.Err()) {
+		t.Fatalf("expired context error %v must classify as interrupted", ctx.Err())
+	}
+}
+
+func TestBannerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	Banner(&buf, 3, 7)
+	want := "\nINTERRUPTED after 3/7 experiments — results above are partial\n"
+	if buf.String() != want {
+		t.Fatalf("banner = %q, want %q", buf.String(), want)
+	}
+}

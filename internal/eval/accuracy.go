@@ -131,6 +131,9 @@ func RunAccuracy(tb *Testbed, sensitivity float64, attackFor time.Duration, stre
 	}
 	tb.Sim.RunUntil(start + attackFor)
 	tb.Drain()
+	if err := tb.Interrupted(); err != nil {
+		return nil, err
+	}
 	tb.IDS.Flush()
 	return scoreAccuracy(tb, sensitivity, camp)
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -116,7 +117,7 @@ func TestCompromiseAnalysis(t *testing.T) {
 
 func TestThroughputSearch(t *testing.T) {
 	opts := ThroughputOptions{Window: 100 * time.Millisecond, LoPps: 500, HiPps: 65536, Seed: 5}
-	res, err := MeasureThroughput(products.StreamHunter(), opts)
+	res, err := MeasureThroughput(context.Background(), products.StreamHunter(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestThroughputOrderingAcrossProducts(t *testing.T) {
 	// than the 3-sensor research prototype running parallel hybrid
 	// engines on tiny queues.
 	opts := ThroughputOptions{Window: 100 * time.Millisecond, LoPps: 500, HiPps: 65536, Seed: 5}
-	fast, err := MeasureThroughput(products.StreamHunter(), opts)
+	fast, err := MeasureThroughput(context.Background(), products.StreamHunter(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := MeasureThroughput(products.AgentSwarm(), opts)
+	slow, err := MeasureThroughput(context.Background(), products.AgentSwarm(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestThroughputOrderingAcrossProducts(t *testing.T) {
 }
 
 func TestThroughputBoundsValidation(t *testing.T) {
-	if _, err := MeasureThroughput(products.NetRecorder(), ThroughputOptions{LoPps: 1000, HiPps: 500}); err == nil {
+	if _, err := MeasureThroughput(context.Background(), products.NetRecorder(), ThroughputOptions{LoPps: 1000, HiPps: 500}); err == nil {
 		t.Fatal("inverted bounds accepted")
 	}
 }
@@ -207,7 +208,7 @@ func TestOperationalImpactDifferentiates(t *testing.T) {
 }
 
 func TestSensitivitySweepProducesTradeoff(t *testing.T) {
-	sw, err := SensitivitySweep(products.NetRecorder(), SweepOptions{
+	sw, err := SensitivitySweep(context.Background(), products.NetRecorder(), SweepOptions{
 		Seed: 7, Points: 3, TrainFor: 6 * time.Second,
 		RunFor: 14 * time.Second, Pps: 200, Strength: 0.5,
 	})
@@ -231,7 +232,7 @@ func TestSensitivitySweepProducesTradeoff(t *testing.T) {
 }
 
 func TestSweepValidation(t *testing.T) {
-	if _, err := SensitivitySweep(products.NetRecorder(), SweepOptions{Points: 1}); err == nil {
+	if _, err := SensitivitySweep(context.Background(), products.NetRecorder(), SweepOptions{Points: 1}); err == nil {
 		t.Fatal("single-point sweep accepted")
 	}
 }
@@ -296,7 +297,7 @@ func TestScoreMappingsMonotone(t *testing.T) {
 
 func TestEvaluateProductFillsCompleteScorecard(t *testing.T) {
 	reg := core.StandardRegistry()
-	ev, err := EvaluateProduct(products.NetRecorder(), reg, Options{Seed: 11, Quick: true})
+	ev, err := EvaluateProduct(context.Background(), products.NetRecorder(), reg, Options{Seed: 11, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestEvaluateAllRanksDifferently(t *testing.T) {
 		t.Skip("full field evaluation is slow")
 	}
 	reg := core.StandardRegistry()
-	evs, err := EvaluateAll(products.All(), reg, Options{Seed: 11, Quick: true})
+	evs, err := EvaluateAll(context.Background(), products.All(), reg, Options{Seed: 11, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

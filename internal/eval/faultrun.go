@@ -95,6 +95,9 @@ func RunFaultScenario(tb *Testbed, sc *faults.Scenario, sensitivity float64, att
 	tb.Sim.RunUntil(start + attackFor)
 	tb.IDS.StopHealthLoop()
 	tb.Drain()
+	if err := tb.Interrupted(); err != nil {
+		return nil, err
+	}
 	tb.IDS.Flush()
 
 	acc, err := scoreAccuracy(tb, sensitivity, camp)
@@ -177,7 +180,13 @@ type FaultSweepResult struct {
 // curve is normalized against. Points are independent simulations and
 // fan out across the shared bounded runner; results assemble in index
 // order, so the parallel sweep is bit-identical to a serial one.
-func FaultSweep(spec products.Spec, sc *faults.Scenario, opts FaultSweepOptions) (*FaultSweepResult, error) {
+//
+// Cancelling ctx halts in-flight points at the kernel's interrupt
+// stride and skips unstarted ones; the partial curve (nil entries for
+// points that never completed) is returned alongside the cancellation
+// error so callers can report progress. Any other failure returns no
+// result.
+func FaultSweep(ctx context.Context, spec products.Spec, sc *faults.Scenario, opts FaultSweepOptions) (*FaultSweepResult, error) {
 	opts.applyDefaults()
 	if opts.Points < 2 {
 		return nil, fmt.Errorf("eval: fault sweep needs at least 2 points, got %d", opts.Points)
@@ -186,15 +195,8 @@ func FaultSweep(spec products.Spec, sc *faults.Scenario, opts FaultSweepOptions)
 		return nil, err
 	}
 	points := make([]*FaultRunResult, opts.Points)
-	err := par.ForEach(context.Background(), opts.Points, opts.Workers, func(_ context.Context, i int) error {
-		sev := float64(i) / float64(opts.Points-1)
-		tb, err := NewTestbed(spec, TestbedConfig{
-			Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
-		})
-		if err != nil {
-			return err
-		}
-		res, err := RunFaultScenario(tb, sc, opts.Sensitivity, opts.AttackFor, opts.Strength, sev)
+	err := par.ForEach(ctx, opts.Points, opts.Workers, func(ctx context.Context, i int) error {
+		res, err := FaultPointAt(ctx, spec, sc, opts, i)
 		if err != nil {
 			return err
 		}
@@ -202,9 +204,33 @@ func FaultSweep(spec products.Spec, sc *faults.Scenario, opts FaultSweepOptions)
 		return nil
 	})
 	if err != nil {
+		if isCancel(err) {
+			return &FaultSweepResult{Product: spec.Name, Scenario: sc, Points: points}, err
+		}
 		return nil, err
 	}
 	return &FaultSweepResult{Product: spec.Name, Scenario: sc, Points: points}, nil
+}
+
+// FaultPointAt runs the scenario at the i-th severity step
+// (i/(Points-1)) on a fresh testbed. It is the unit of work a campaign
+// journals and resumes individually: the point produced here is
+// bit-identical to the same index of a full FaultSweep with the same
+// options.
+func FaultPointAt(ctx context.Context, spec products.Spec, sc *faults.Scenario, opts FaultSweepOptions, i int) (*FaultRunResult, error) {
+	opts.applyDefaults()
+	if i < 0 || i >= opts.Points {
+		return nil, fmt.Errorf("eval: fault point %d out of range [0,%d)", i, opts.Points)
+	}
+	sev := float64(i) / float64(opts.Points-1)
+	tb, err := NewTestbed(spec, TestbedConfig{
+		Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Bind(ctx)
+	return RunFaultScenario(tb, sc, opts.Sensitivity, opts.AttackFor, opts.Strength, sev)
 }
 
 // BaselineDetection is the severity-0 detection rate the curve is

@@ -14,6 +14,7 @@ package eval_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -98,7 +99,7 @@ func TestFaultSweepReproducible(t *testing.T) {
 	}
 	spec := products.TrueSecure()
 	render := func() string {
-		sw, err := eval.FaultSweep(spec, sc, quickFaultOpts())
+		sw, err := eval.FaultSweep(context.Background(), spec, sc, quickFaultOpts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestFaultSweepMonotoneDegradation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := eval.FaultSweep(products.TrueSecure(), sc, quickFaultOpts())
+	sw, err := eval.FaultSweep(context.Background(), products.TrueSecure(), sc, quickFaultOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

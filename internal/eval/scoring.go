@@ -359,7 +359,12 @@ type ProductEvaluation struct {
 // immutable). They therefore fan out on the bounded runner, and because
 // every experiment's RNG streams derive from opts.Seed alone, the
 // parallel scorecard is bit-identical to the serial one.
-func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*ProductEvaluation, error) {
+//
+// Cancelling ctx (SIGINT, a timeout, a campaign watchdog) halts the
+// in-flight simulations at the kernel's interrupt stride and returns
+// the cancellation error; a partially evaluated product has no valid
+// scorecard, so no partial ProductEvaluation is returned.
+func EvaluateProduct(ctx context.Context, spec products.Spec, reg *core.Registry, opts Options) (*ProductEvaluation, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 11
 	}
@@ -377,9 +382,9 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 		accReg = obs.NewRegistry()
 	}
 
-	experiments := []func() error{
+	experiments := []func(ctx context.Context) error{
 		// Accuracy + timeliness + response + compromise (one big run).
-		func() error {
+		func(ctx context.Context) error {
 			accCfg := TestbedConfig{Seed: opts.Seed, Obs: accReg}
 			attackFor := 45 * time.Second
 			strength := attack.Intensity(1)
@@ -393,6 +398,7 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 			if err != nil {
 				return err
 			}
+			tb.Bind(ctx)
 			acc, err := RunAccuracy(tb, 0.6, attackFor, strength)
 			if err != nil {
 				return err
@@ -402,13 +408,13 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 			return nil
 		},
 		// Throughput / lethal dose.
-		func() error {
+		func(ctx context.Context) error {
 			thOpts := ThroughputOptions{Seed: opts.Seed}
 			if opts.Quick {
 				thOpts.Window = 100 * time.Millisecond
 				thOpts.HiPps = 65536
 			}
-			th, err := MeasureThroughput(spec, thOpts)
+			th, err := MeasureThroughput(ctx, spec, thOpts)
 			if err != nil {
 				return err
 			}
@@ -419,7 +425,7 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 		// is measured both ways by the ablation bench; the scorecard uses
 		// the passive (mirror) deployment, the paper's common case, except
 		// that the latency number still reflects any balancer cost.
-		func() error {
+		func(ctx context.Context) error {
 			lat, err := MeasureInducedLatency(spec, TapMirror, opts.Seed)
 			if err != nil {
 				return err
@@ -428,7 +434,7 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 			return nil
 		},
 		// Host impact.
-		func() error {
+		func(ctx context.Context) error {
 			imp, err := MeasureOperationalImpact(spec, opts.Seed)
 			if err != nil {
 				return err
@@ -437,7 +443,7 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 			return nil
 		},
 		// Sensitivity sweep.
-		func() error {
+		func(ctx context.Context) error {
 			swOpts := SweepOptions{Seed: opts.Seed, Workers: opts.Workers}
 			if opts.Quick {
 				swOpts.Points = 3
@@ -446,7 +452,7 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 				swOpts.Pps = 200
 				swOpts.Strength = 0.5
 			}
-			sw, err := SensitivitySweep(spec, swOpts)
+			sw, err := SensitivitySweep(ctx, spec, swOpts)
 			if err != nil {
 				return err
 			}
@@ -454,8 +460,8 @@ func EvaluateProduct(spec products.Spec, reg *core.Registry, opts Options) (*Pro
 			return nil
 		},
 	}
-	err := par.ForEach(context.Background(), len(experiments), opts.Workers, func(_ context.Context, i int) error {
-		return experiments[i]()
+	err := par.ForEach(ctx, len(experiments), opts.Workers, func(ctx context.Context, i int) error {
+		return experiments[i](ctx)
 	})
 	if err != nil {
 		return nil, err
@@ -561,10 +567,16 @@ func lethalNote(th *ThroughputResult) string {
 // order, so the parallel run is bit-identical to a serial one. The
 // first failing product (in field order) cancels the rest and its
 // error is the one returned.
-func EvaluateAll(specs []products.Spec, reg *core.Registry, opts Options) ([]*ProductEvaluation, error) {
+//
+// Cancelling ctx (SIGINT/SIGTERM, -timeout) drains gracefully: the
+// completed evaluations are returned in their field slots (nil for
+// products that never finished) together with the cancellation error,
+// so callers can print partial scorecards with an explicit interrupted
+// banner. Non-cancellation failures return no results.
+func EvaluateAll(ctx context.Context, specs []products.Spec, reg *core.Registry, opts Options) ([]*ProductEvaluation, error) {
 	out := make([]*ProductEvaluation, len(specs))
-	err := par.ForEach(context.Background(), len(specs), opts.Workers, func(_ context.Context, i int) error {
-		ev, err := EvaluateProduct(specs[i], reg, opts)
+	err := par.ForEach(ctx, len(specs), opts.Workers, func(ctx context.Context, i int) error {
+		ev, err := EvaluateProduct(ctx, specs[i], reg, opts)
 		if err != nil {
 			return fmt.Errorf("eval: %s: %w", specs[i].Name, err)
 		}
@@ -572,6 +584,9 @@ func EvaluateAll(specs []products.Spec, reg *core.Registry, opts Options) ([]*Pr
 		return nil
 	})
 	if err != nil {
+		if isCancel(err) {
+			return out, err
+		}
 		return nil, err
 	}
 	return out, nil

@@ -77,41 +77,80 @@ func (o *SweepOptions) applyDefaults() {
 // factor is the sensitivity knob. Points are independent simulations, so
 // they fan out across the shared bounded runner; results are assembled
 // in index order, making the parallel sweep bit-identical to a serial
-// one. On failure the remaining points are cancelled, the
-// lowest-indexed point's error is surfaced, and no partially-filled
-// result is returned.
-func SensitivitySweep(spec products.Spec, opts SweepOptions) (*SweepResult, error) {
+// one.
+//
+// Cancelling ctx halts in-flight points at the kernel's interrupt
+// stride and skips unstarted ones. On cancellation the partial result —
+// completed points only, no EER — is returned alongside the error so
+// callers can report how far the sweep got; any other failure cancels
+// the remaining points, surfaces the lowest-indexed point's error, and
+// returns no result.
+func SensitivitySweep(ctx context.Context, spec products.Spec, opts SweepOptions) (*SweepResult, error) {
 	opts.applyDefaults()
 	if opts.Points < 2 {
 		return nil, fmt.Errorf("eval: sweep needs at least 2 points, got %d", opts.Points)
 	}
 	points := make([]SweepPoint, opts.Points)
-	err := par.ForEach(context.Background(), opts.Points, opts.Workers, func(_ context.Context, i int) error {
-		s := float64(i) / float64(opts.Points-1)
-		tb, err := NewTestbed(spec, TestbedConfig{
-			Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
-		})
+	err := par.ForEach(ctx, opts.Points, opts.Workers, func(ctx context.Context, i int) error {
+		p, err := SweepPointAt(ctx, spec, opts, i)
 		if err != nil {
 			return err
 		}
-		res, err := RunAccuracy(tb, s, opts.RunFor, opts.Strength)
-		if err != nil {
-			return err
-		}
-		points[i] = SweepPoint{
-			Sensitivity: s,
-			TypeI:       res.FalsePositiveRatio * 100,
-			TypeII:      res.MissRate * 100,
-			Raw:         res,
-		}
+		points[i] = p
 		return nil
 	})
 	if err != nil {
+		if isCancel(err) {
+			var done []SweepPoint
+			for _, p := range points {
+				if p.Raw != nil {
+					done = append(done, p)
+				}
+			}
+			return &SweepResult{Product: spec.Name, Points: done}, err
+		}
 		return nil, err
 	}
-	out := &SweepResult{Product: spec.Name, Points: points}
-	out.EER, out.EERError, out.EERValid = equalErrorRate(out.Points)
-	return out, nil
+	return AssembleSweep(spec.Name, points), nil
+}
+
+// SweepPointAt runs the accuracy experiment behind the i-th sweep point
+// (sensitivity i/(Points-1)) on a fresh testbed. It is the unit of work
+// a campaign journals and resumes individually: the point produced here
+// is bit-identical to the same index of a full SensitivitySweep with
+// the same options.
+func SweepPointAt(ctx context.Context, spec products.Spec, opts SweepOptions, i int) (SweepPoint, error) {
+	opts.applyDefaults()
+	if i < 0 || i >= opts.Points {
+		return SweepPoint{}, fmt.Errorf("eval: sweep point %d out of range [0,%d)", i, opts.Points)
+	}
+	s := float64(i) / float64(opts.Points-1)
+	tb, err := NewTestbed(spec, TestbedConfig{
+		Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	tb.Bind(ctx)
+	res, err := RunAccuracy(tb, s, opts.RunFor, opts.Strength)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Sensitivity: s,
+		TypeI:       res.FalsePositiveRatio * 100,
+		TypeII:      res.MissRate * 100,
+		Raw:         res,
+	}, nil
+}
+
+// AssembleSweep builds a SweepResult from independently produced points
+// (a campaign's per-point experiments), computing the equal error rate
+// exactly as SensitivitySweep would.
+func AssembleSweep(product string, points []SweepPoint) *SweepResult {
+	out := &SweepResult{Product: product, Points: points}
+	out.EER, out.EERError, out.EERValid = equalErrorRate(points)
+	return out
 }
 
 // equalErrorRate finds the crossover of the Type I and Type II curves by

@@ -13,6 +13,7 @@ package eval_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -33,7 +34,7 @@ import (
 func renderField(t *testing.T, specs []products.Spec, opts eval.Options) (string, []*eval.ProductEvaluation) {
 	t.Helper()
 	reg := core.StandardRegistry()
-	evs, err := eval.EvaluateAll(specs, reg, opts)
+	evs, err := eval.EvaluateAll(context.Background(), specs, reg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestReplayStdoutByteIdenticalAcrossPaths(t *testing.T) {
 	tr, encoded := buildStreamTrace(t, 23)
 	spec := products.TrueSecure()
 
-	want, err := eval.RunTraceAccuracy(spec, tr, 0.6, 6*time.Second, 11)
+	want, err := eval.RunTraceAccuracy(context.Background(), spec, tr, 0.6, 6*time.Second, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestReplayStdoutByteIdenticalAcrossPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	got, err := eval.RunTraceAccuracyStream(spec, rd, 0.6, 6*time.Second, 11, reg)
+	got, err := eval.RunTraceAccuracyStream(context.Background(), spec, rd, 0.6, 6*time.Second, 11, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,8 +7,12 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/par"
 
 	"repro/internal/attack"
 	"repro/internal/hostmon"
@@ -179,6 +183,53 @@ func NewTestbed(spec products.Spec, cfg TestbedConfig) (*Testbed, error) {
 	return tb, nil
 }
 
+// Bind ties the testbed's simulation to ctx: the kernel consults
+// ctx.Err about every interrupt stride, so cancelling ctx (SIGINT, a
+// campaign watchdog, a -timeout) halts the run within a bounded number
+// of events instead of at the end of the experiment. When ctx carries
+// a heartbeat (par.WithHeartbeat), each consult also beats it, letting
+// a stall watchdog distinguish slow-but-progressing simulations from
+// wedged ones. Binding context.Background (or nil) uninstalls.
+//
+// Binding never perturbs results: the check touches no simulation
+// state, so an uncancelled bound run is bit-identical to an unbound
+// one (the telemetry determinism guard covers the shared harness).
+func (tb *Testbed) Bind(ctx context.Context) {
+	bindSim(ctx, tb.Sim)
+}
+
+// bindSim installs the ctx/heartbeat interrupt check on any sim.
+func bindSim(ctx context.Context, sim *simtime.Sim) {
+	if ctx == nil || ctx == context.Background() {
+		sim.SetInterrupt(nil)
+		return
+	}
+	beat := par.HeartbeatFrom(ctx)
+	sim.SetInterrupt(func() error {
+		if beat != nil {
+			beat()
+		}
+		return ctx.Err()
+	})
+}
+
+// Interrupted surfaces a cancellation that halted the bound simulation
+// as an eval error. A non-nil return means the run's partial state is
+// not scoreable and the experiment must be reported as interrupted.
+func (tb *Testbed) Interrupted() error {
+	if err := tb.Sim.Interrupted(); err != nil {
+		return fmt.Errorf("eval: %s run interrupted: %w", tb.Spec.Name, err)
+	}
+	return nil
+}
+
+// isCancel reports whether err is (or wraps) a context cancellation or
+// deadline expiry — the class of failures for which entry points hand
+// back partial results instead of discarding completed work.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // meanInspectCost estimates the per-packet in-line processing cost from
 // the product's engine on a typical packet.
 func (tb *Testbed) meanInspectCost() time.Duration {
@@ -254,7 +305,7 @@ func (tb *Testbed) Train() error {
 	}
 	tb.Sim.RunUntil(tb.Cfg.TrainFor)
 	tb.training = false
-	return nil
+	return tb.Interrupted()
 }
 
 // Drain stops all self-perpetuating sources (generator, real-time host

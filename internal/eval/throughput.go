@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -103,8 +104,9 @@ func fillPool(sim *simtime.Sim, pool *[]*packet.Packet, n int, start func()) err
 
 // probe offers the pool at a fixed rate to a fresh product instance and
 // reports drops and sensor failures.
-func probe(spec products.Spec, opts ThroughputOptions, pool []*packet.Packet, pps float64) (drops uint64, failures int, err error) {
+func probe(ctx context.Context, spec products.Spec, opts ThroughputOptions, pool []*packet.Packet, pps float64) (drops uint64, failures int, err error) {
 	sim := simtime.New(opts.Seed)
+	bindSim(ctx, sim)
 	inst, err := spec.Instantiate(sim)
 	if err != nil {
 		return 0, 0, err
@@ -126,13 +128,18 @@ func probe(spec products.Spec, opts ThroughputOptions, pool []*packet.Packet, pp
 		}
 	}
 	sim.Run()
+	if err := sim.Interrupted(); err != nil {
+		return 0, 0, fmt.Errorf("eval: throughput probe interrupted: %w", err)
+	}
 	st := inst.Stats()
 	return st.SensorDropped, st.SensorFailures, nil
 }
 
 // MeasureThroughput finds the zero-loss throughput by binary search in
-// log space, then ramps upward to find the lethal dose.
-func MeasureThroughput(spec products.Spec, opts ThroughputOptions) (*ThroughputResult, error) {
+// log space, then ramps upward to find the lethal dose. Cancelling ctx
+// aborts the in-flight probe at the kernel's interrupt stride and
+// surfaces the cancellation error.
+func MeasureThroughput(ctx context.Context, spec products.Spec, opts ThroughputOptions) (*ThroughputResult, error) {
 	opts.applyDefaults()
 	if opts.LoPps >= opts.HiPps {
 		return nil, fmt.Errorf("eval: throughput bounds inverted (%v >= %v)", opts.LoPps, opts.HiPps)
@@ -148,7 +155,7 @@ func MeasureThroughput(spec products.Spec, opts ThroughputOptions) (*ThroughputR
 	lo, hi := opts.LoPps, opts.HiPps
 	dropsAt := func(pps float64) (uint64, int, error) {
 		res.Probes++
-		return probe(spec, opts, pool, pps)
+		return probe(ctx, spec, opts, pool, pps)
 	}
 	if d, _, err := dropsAt(lo); err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ package eval
 // surface as a construction-time error, never a panic or a hang.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestFillPoolStallGuard(t *testing.T) {
 }
 
 func TestMeasureThroughputInvertedBounds(t *testing.T) {
-	_, err := MeasureThroughput(products.TrueSecure(), ThroughputOptions{LoPps: 1000, HiPps: 500})
+	_, err := MeasureThroughput(context.Background(), products.TrueSecure(), ThroughputOptions{LoPps: 1000, HiPps: 500})
 	if err == nil {
 		t.Fatal("inverted bounds accepted")
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,8 @@ import (
 // and scores the monitor's reports against the trace's ground-truth
 // sidecar. The product first trains on live clean background for
 // trainFor, then the entire trace is replayed through the testbed hosts.
-func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, trainFor time.Duration, seed int64) (*AccuracyResult, error) {
+// Cancelling ctx halts the replay at the kernel's interrupt stride.
+func RunTraceAccuracy(ctx context.Context, spec products.Spec, tr *trace.Trace, sensitivity float64, trainFor time.Duration, seed int64) (*AccuracyResult, error) {
 	if len(tr.Records) == 0 {
 		return nil, fmt.Errorf("eval: empty trace")
 	}
@@ -41,6 +43,7 @@ func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, 
 	if err != nil {
 		return nil, err
 	}
+	tb.Bind(ctx)
 	if err := tb.Train(); err != nil {
 		return nil, err
 	}
@@ -52,6 +55,9 @@ func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, 
 		return nil, err
 	}
 	tb.Drain()
+	if err := tb.Interrupted(); err != nil {
+		return nil, err
+	}
 	tb.IDS.Flush()
 
 	// Conversations (canonical flows) approximate the trace's transaction
@@ -84,7 +90,7 @@ func RunTraceAccuracy(spec products.Spec, tr *trace.Trace, sensitivity float64, 
 // ("replay.setup" / "replay.train" / "replay.replay" / "replay.score"),
 // decoder counters on rd, and the full testbed component telemetry.
 // The scored result is bit-identical with reg set or nil.
-func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity float64, trainFor time.Duration, seed int64, reg *obs.Registry) (*AccuracyResult, error) {
+func RunTraceAccuracyStream(ctx context.Context, spec products.Spec, rd *trace.Reader, sensitivity float64, trainFor time.Duration, seed int64, reg *obs.Registry) (*AccuracyResult, error) {
 	st, ok := rd.Stats()
 	if !ok {
 		return nil, fmt.Errorf("eval: streaming accuracy needs an indexed trace (seekable IDT2 source)")
@@ -102,6 +108,7 @@ func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity fl
 	if err != nil {
 		return nil, err
 	}
+	tb.Bind(ctx)
 	sp.End()
 	sp = reg.StartSpan("replay.train")
 	if err := tb.Train(); err != nil {
@@ -129,6 +136,9 @@ func RunTraceAccuracyStream(spec products.Spec, rd *trace.Reader, sensitivity fl
 	}
 	tb.Drain()
 	if err := rs.Err(); err != nil {
+		return nil, err
+	}
+	if err := tb.Interrupted(); err != nil {
 		return nil, err
 	}
 	tb.IDS.Flush()

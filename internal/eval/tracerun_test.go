@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"reflect"
 	"testing"
@@ -49,7 +50,7 @@ func buildTrace(t *testing.T, seed int64) *trace.Trace {
 
 func TestRunTraceAccuracy(t *testing.T) {
 	tr := buildTrace(t, 23)
-	res, err := RunTraceAccuracy(products.TrueSecure(), tr, 0.6, 6*time.Second, 11)
+	res, err := RunTraceAccuracy(context.Background(), products.TrueSecure(), tr, 0.6, 6*time.Second, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRunTraceAccuracy(t *testing.T) {
 func TestRunTraceAccuracyDeterministic(t *testing.T) {
 	tr := buildTrace(t, 23)
 	run := func() (int, int) {
-		res, err := RunTraceAccuracy(products.NetRecorder(), tr, 0.6, 4*time.Second, 11)
+		res, err := RunTraceAccuracy(context.Background(), products.NetRecorder(), tr, 0.6, 4*time.Second, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestRunTraceAccuracyDeterministic(t *testing.T) {
 }
 
 func TestRunTraceAccuracyRejectsEmpty(t *testing.T) {
-	if _, err := RunTraceAccuracy(products.NetRecorder(), &trace.Trace{}, 0.5, time.Second, 1); err == nil {
+	if _, err := RunTraceAccuracy(context.Background(), products.NetRecorder(), &trace.Trace{}, 0.5, time.Second, 1); err == nil {
 		t.Fatal("empty trace accepted")
 	}
 }
@@ -98,7 +99,7 @@ func TestTraceRoundTripThroughReplayMatchesLive(t *testing.T) {
 	// the same techniques as the live generation path (same engines, same
 	// content).
 	tr := buildTrace(t, 31)
-	res, err := RunTraceAccuracy(products.TrueSecure(), tr, 0.7, 6*time.Second, 13)
+	res, err := RunTraceAccuracy(context.Background(), products.TrueSecure(), tr, 0.7, 6*time.Second, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestStreamAccuracyMatchesInMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, spec := range []products.Spec{products.TrueSecure(), products.NetRecorder()} {
-		want, err := RunTraceAccuracy(spec, tr, 0.6, 6*time.Second, 11)
+		want, err := RunTraceAccuracy(context.Background(), spec, tr, 0.6, 6*time.Second, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestStreamAccuracyMatchesInMemory(t *testing.T) {
 			t.Fatal(err)
 		}
 		reg := obs.NewRegistry()
-		got, err := RunTraceAccuracyStream(spec, rd, 0.6, 6*time.Second, 11, reg)
+		got, err := RunTraceAccuracyStream(context.Background(), spec, rd, 0.6, 6*time.Second, 11, reg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func TestStreamAccuracyRequiresIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunTraceAccuracyStream(products.TrueSecure(), rd, 0.6, time.Second, 11, nil); err == nil {
+	if _, err := RunTraceAccuracyStream(context.Background(), products.TrueSecure(), rd, 0.6, time.Second, 11, nil); err == nil {
 		t.Fatal("unindexed source accepted")
 	}
 }

@@ -1,0 +1,152 @@
+// Package fsio is the harness's crash-safe file I/O: atomic whole-file
+// writes (temp file in the same directory, fsync, rename) and durable
+// appends for the campaign journal. Every file the harness produces —
+// checkpoint results, telemetry exports, CSV series, recorded traces —
+// goes through this package so that a crash or kill at any instant
+// leaves either the previous complete file or the new complete file,
+// never a torn one.
+//
+// The contract, in POSIX terms: data reaches the temp file, the temp
+// file is fsynced, then rename() replaces the destination atomically,
+// then the directory is fsynced so the rename itself survives a crash.
+// Readers that only ever open the final path can never observe a
+// partial write.
+package fsio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes one file atomically: write runs against a temp
+// file created in path's directory; on success the temp file is synced
+// and renamed over path. On any error the temp file is removed and
+// path is untouched.
+func WriteAtomic(path string, write func(w io.Writer) error) error {
+	af, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(af); err != nil {
+		af.Abort()
+		return err
+	}
+	return af.Commit()
+}
+
+// AtomicFile is an in-progress atomic write for callers that need the
+// file handle itself (streaming encoders). Write into it, then either
+// Commit (sync + rename into place) or Abort (remove the temp file).
+// An AtomicFile left neither committed nor aborted is just a stray
+// .tmp file — the destination is never touched.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// Create starts an atomic write of path. The temp file lives in the
+// same directory so the final rename cannot cross filesystems.
+func Create(path string) (*AtomicFile, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, fmt.Errorf("fsio: %w", err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(abs), "."+filepath.Base(abs)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("fsio: %w", err)
+	}
+	return &AtomicFile{f: f, path: abs}, nil
+}
+
+// Write implements io.Writer.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Name returns the temp file's path (diagnostics only; it disappears
+// at Commit/Abort).
+func (a *AtomicFile) Name() string { return a.f.Name() }
+
+// Commit syncs the temp file and renames it over the destination,
+// then syncs the directory so the rename is durable. Idempotent after
+// success; returns an error (and aborts) if any step fails.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsio: sync %s: %w", tmp, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsio: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsio: %w", err)
+	}
+	return SyncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the write, removing the temp file. Idempotent and
+// safe after Commit (then a no-op).
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	tmp := a.f.Name()
+	a.f.Close()
+	os.Remove(tmp)
+}
+
+// SyncDir fsyncs a directory so a completed rename or create inside it
+// survives a crash. Filesystems that refuse to sync directories are
+// tolerated (the rename is still atomic there).
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	defer d.Close()
+	// Ignore sync errors from filesystems without directory fsync
+	// support; atomicity of the rename does not depend on it.
+	_ = d.Sync()
+	return nil
+}
+
+// AppendFile is an append-only file whose writes are individually
+// durable: each Append writes one buffer and fsyncs before returning.
+// This is the campaign journal's commit discipline — an experiment is
+// "done" exactly when its journal line has reached the disk.
+type AppendFile struct {
+	f *os.File
+}
+
+// OpenAppend opens (creating if absent) path for durable appends.
+func OpenAppend(path string) (*AppendFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fsio: %w", err)
+	}
+	return &AppendFile{f: f}, nil
+}
+
+// Append writes p and fsyncs.
+func (a *AppendFile) Append(p []byte) error {
+	if _, err := a.f.Write(p); err != nil {
+		return fmt.Errorf("fsio: append %s: %w", a.f.Name(), err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("fsio: sync %s: %w", a.f.Name(), err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (a *AppendFile) Close() error { return a.f.Close() }

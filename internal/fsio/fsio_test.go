@@ -1,0 +1,139 @@
+package fsio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicReplacesWholeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new contents")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("got %q", got)
+	}
+	assertNoStrays(t, dir)
+}
+
+func TestWriteAtomicFailureLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a file and then")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("failed write corrupted the destination: %q", got)
+	}
+	assertNoStrays(t, dir)
+}
+
+func TestAtomicFileAbortIsInvisible(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.idt2")
+	af, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("partial stream")); err != nil {
+		t.Fatal(err)
+	}
+	af.Abort()
+	af.Abort() // idempotent
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted write left destination: %v", err)
+	}
+	assertNoStrays(t, dir)
+}
+
+func TestAtomicFileCommitThenAbortIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	af, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Write([]byte("done"))
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	af.Abort()
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "done" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestAppendFileDurableLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	a, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{"one\n", "two\n"} {
+		if err := a.Append([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and append more — O_APPEND, not truncate.
+	a, err = OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]byte("three\n")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "one\ntwo\nthree\n" {
+		t.Fatalf("journal = %q", got)
+	}
+}
+
+// assertNoStrays fails if any temp file survived in dir.
+func assertNoStrays(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/fsio"
 	"repro/internal/packet"
 	"repro/internal/trace"
 )
@@ -35,4 +36,14 @@ func (s *IDS) ExportRecordings(w io.Writer, profile string) error {
 		}
 	}
 	return tw.Close()
+}
+
+// ExportRecordingsFile writes the recordings trace to path atomically:
+// the stream is encoded into a temp file in the same directory, synced,
+// and renamed into place, so a crash mid-export can never leave a torn
+// trace where tooling will later look for a complete one.
+func (s *IDS) ExportRecordingsFile(path, profile string) error {
+	return fsio.WriteAtomic(path, func(w io.Writer) error {
+		return s.ExportRecordings(w, profile)
+	})
 }

@@ -3,6 +3,8 @@ package ids
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -265,5 +267,39 @@ func TestExportRecordingsWritesStreamTrace(t *testing.T) {
 			lastSent = r.Pk.Sent
 		}
 		c.Release()
+	}
+}
+
+func TestExportRecordingsFileAtomic(t *testing.T) {
+	sim, s := recordingIDS(t, 0)
+	sim.MustSchedule(time.Second, func() { s.Ingest(attackPkt(1)) })
+	sim.Run()
+	if len(s.Recordings()) == 0 {
+		t.Fatal("no recordings to export")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.idt2")
+	if err := s.ExportRecordingsFile(path, "forensics"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatalf("exported file is not a readable trace: %v", err)
+	}
+	if rd.Profile() != "forensics" {
+		t.Fatalf("profile %q", rd.Profile())
+	}
+	// No temp litter: the only entry in dir is the committed file.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "rec.idt2" {
+		t.Fatalf("directory not clean after export: %v", ents)
 	}
 }

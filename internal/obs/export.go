@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/fsio"
 )
 
 // CounterSnap is one counter's exported state.
@@ -256,4 +258,17 @@ func (s *Snapshot) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSONLFile writes the JSONL export to path atomically: readers
+// never observe a torn snapshot, and a crash mid-export leaves any
+// previous file intact.
+func (s *Snapshot) WriteJSONLFile(path string) error {
+	return fsio.WriteAtomic(path, s.WriteJSONL)
+}
+
+// WritePrometheusFile writes the Prometheus text export to path
+// atomically, with the same crash guarantees as WriteJSONLFile.
+func (s *Snapshot) WritePrometheusFile(path string) error {
+	return fsio.WriteAtomic(path, s.WritePrometheus)
 }

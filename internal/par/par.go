@@ -95,3 +95,74 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	}
 	return cancelled
 }
+
+// ForEachAll is ForEach without fail-fast: every job runs regardless of
+// sibling failures, and the per-index errors are all returned. This is
+// the campaign runner's discipline — one failed experiment must not
+// cancel the rest of a sweep — where ForEach's fail-fast is the right
+// call inside a single experiment whose partial output is worthless.
+//
+// Cancellation of ctx is still honoured: jobs not yet claimed when ctx
+// is cancelled are skipped with ctx.Err() recorded in their slot, and
+// jobs already running are allowed to finish (graceful drain). All
+// worker goroutines have exited by the time ForEachAll returns.
+func ForEachAll(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = fn(ctx, i)
+		}
+	}
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	return errs
+}
+
+// heartbeatKey carries a liveness callback through a context (see
+// WithHeartbeat).
+type heartbeatKey struct{}
+
+// WithHeartbeat attaches beat to ctx. Long-running work executed under
+// the returned context calls the beat function (via HeartbeatFrom) at
+// natural progress points — the simulation kernel's interrupt stride —
+// so an external watchdog can distinguish slow-but-progressing work
+// from a wedged experiment.
+func WithHeartbeat(ctx context.Context, beat func()) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, beat)
+}
+
+// HeartbeatFrom extracts the heartbeat callback attached by
+// WithHeartbeat, or nil when ctx carries none.
+func HeartbeatFrom(ctx context.Context) func() {
+	beat, _ := ctx.Value(heartbeatKey{}).(func())
+	return beat
+}

@@ -3,8 +3,10 @@ package par
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachRunsAllJobs(t *testing.T) {
@@ -83,5 +85,146 @@ func TestForEachParentCancellation(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// goroutineCount samples runtime.NumGoroutine after a settling GC so
+// short-lived runtime goroutines don't pollute the leak check.
+func goroutineCount() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// TestForEachLeakFree pins the cleanup contract: whether a run
+// completes, fails fast, or is cancelled mid-flight, every worker
+// goroutine has exited by the time ForEach/ForEachAll return.
+func TestForEachLeakFree(t *testing.T) {
+	before := goroutineCount()
+	boom := errors.New("boom")
+	for trial := 0; trial < 50; trial++ {
+		_ = ForEach(context.Background(), 64, 8, func(ctx context.Context, i int) error {
+			if i == 13 {
+				return boom
+			}
+			return nil
+		})
+		_ = ForEachAll(context.Background(), 64, 8, func(ctx context.Context, i int) error {
+			if i%7 == 0 {
+				return boom
+			}
+			return nil
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEach(ctx, 64, 8, func(ctx context.Context, i int) error {
+			if i == 4 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	// Allow any stragglers a moment, then compare. A small tolerance
+	// absorbs unrelated runtime goroutines; a real leak here is O(trials).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		after := goroutineCount()
+		if after <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestForEachCancellationSkipsQueued pins fail-fast cancellation: once
+// a worker returns an error, queued jobs that have not started are
+// skipped rather than run.
+func TestForEachCancellationSkipsQueued(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	gate := make(chan struct{})
+	err := ForEach(context.Background(), 100, 2, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			// Fail while worker 2 is blocked on the gate, so the failure
+			// lands before the queue drains.
+			close(gate)
+			return boom
+		}
+		if i == 1 {
+			<-gate
+			<-ctx.Done() // observe the cancellation fan-out
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if got := started.Load(); got > 4 {
+		t.Fatalf("%d jobs started after failure; queued work was not skipped", got)
+	}
+}
+
+func TestForEachAllRunsEverythingDespiteFailures(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	errs := ForEachAll(context.Background(), 50, 4, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i%3 == 0 {
+			return boom
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d of 50 jobs; failures must not cancel siblings", got)
+	}
+	for i, err := range errs {
+		want := i%3 == 0
+		if (err != nil) != want {
+			t.Fatalf("job %d: err=%v, want failure=%v", i, err, want)
+		}
+	}
+}
+
+func TestForEachAllDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	errs := ForEachAll(ctx, 100, 1, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 9 {
+			cancel()
+		}
+		return nil
+	})
+	defer cancel()
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d jobs, want exactly 10 before the cancellation point", got)
+	}
+	for i, err := range errs {
+		if i < 10 && err != nil {
+			t.Fatalf("completed job %d reported %v", i, err)
+		}
+		if i >= 10 && !errors.Is(err, context.Canceled) {
+			t.Fatalf("skipped job %d: err=%v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	if HeartbeatFrom(context.Background()) != nil {
+		t.Fatal("background context should carry no heartbeat")
+	}
+	var beats atomic.Int32
+	ctx := WithHeartbeat(context.Background(), func() { beats.Add(1) })
+	beat := HeartbeatFrom(ctx)
+	if beat == nil {
+		t.Fatal("heartbeat lost in round trip")
+	}
+	beat()
+	beat()
+	if got := beats.Load(); got != 2 {
+		t.Fatalf("beats=%d, want 2", got)
 	}
 }

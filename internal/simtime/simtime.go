@@ -145,7 +145,19 @@ type Sim struct {
 	// Processed counts events executed since creation; useful both for
 	// progress accounting and for loop-detection limits in tests.
 	processed uint64
+	// interrupt, when set, is consulted about every interruptStride
+	// executed events during Run/RunUntil; a non-nil return halts the
+	// run (see SetInterrupt).
+	interrupt func() error
+	intErr    error
 }
+
+// interruptStride is how many executed events pass between interrupt
+// checks. The check is read-only with respect to simulation state (it
+// never touches a random stream or the event heap), so as long as it
+// keeps returning nil the simulation is bit-identical to one with no
+// interrupt installed; the stride only bounds cancellation latency.
+const interruptStride = 1024
 
 // New creates a simulation whose random streams derive from seed.
 func New(seed int64) *Sim {
@@ -275,12 +287,21 @@ func (s *Sim) RunUntil(deadline Time) uint64 {
 	if s.running {
 		panic("simtime: RunUntil re-entered from inside an event handler")
 	}
+	if s.intErr != nil {
+		return 0
+	}
 	s.running = true
 	s.stopped = false
 	defer func() { s.running = false }()
 
 	var n uint64
 	for len(s.pending) > 0 && !s.stopped {
+		if s.interrupt != nil && s.processed%interruptStride == 0 {
+			if err := s.interrupt(); err != nil {
+				s.intErr = err
+				break
+			}
+		}
 		next := s.pending[0]
 		if next.dead {
 			s.pending.popMin()
@@ -298,7 +319,7 @@ func (s *Sim) RunUntil(deadline Time) uint64 {
 		fn()
 		n++
 	}
-	if !s.stopped && s.now < deadline && deadline < 1<<62-1 {
+	if !s.stopped && s.intErr == nil && s.now < deadline && deadline < 1<<62-1 {
 		s.now = deadline
 	}
 	return n
@@ -307,6 +328,25 @@ func (s *Sim) RunUntil(deadline Time) uint64 {
 // Stop halts the currently running Run/RunUntil after the current event
 // handler returns. It may only be called from inside an event handler.
 func (s *Sim) Stop() { s.stopped = true }
+
+// SetInterrupt installs a cancellation check consulted about every
+// interruptStride executed events during Run/RunUntil. When check
+// returns a non-nil error the run halts where it stands, the error is
+// retained, and every later Run/RunUntil returns immediately; callers
+// observe the abort through Interrupted. A nil check uninstalls.
+//
+// The check runs on the simulation's own goroutine and must be cheap
+// and side-effect-free with respect to simulation state: the intended
+// use is ctx.Err plus a wall-clock heartbeat for an external watchdog.
+// While check returns nil the simulation's behaviour is bit-identical
+// to one with no interrupt installed.
+func (s *Sim) SetInterrupt(check func() error) { s.interrupt = check }
+
+// Interrupted returns the error that halted the simulation via the
+// interrupt check, or nil if no interrupt has fired. Once set it stays
+// set: an interrupted simulation's partial state is not a valid
+// experiment result and must not be scored.
+func (s *Sim) Interrupted() error { return s.intErr }
 
 // Stream returns the named deterministic random stream, creating it on
 // first use. Distinct names give independent streams; the same (seed, name)

@@ -1,6 +1,7 @@
 package simtime
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -351,4 +352,69 @@ func TestRunUntilReentryPanics(t *testing.T) {
 		s.RunUntil(2 * time.Second)
 	})
 	s.Run()
+}
+
+func TestInterruptHaltsRun(t *testing.T) {
+	s := New(1)
+	// A self-perpetuating event chain: without an interrupt this would
+	// run forever (or to the deadline).
+	var reschedule func()
+	ran := 0
+	reschedule = func() {
+		ran++
+		s.MustSchedule(time.Millisecond, reschedule)
+	}
+	s.MustSchedule(time.Millisecond, reschedule)
+	stop := errors.New("stop")
+	checks := 0
+	s.SetInterrupt(func() error {
+		checks++
+		if checks > 3 {
+			return stop
+		}
+		return nil
+	})
+	s.RunUntil(time.Hour)
+	if s.Interrupted() == nil {
+		t.Fatal("interrupt did not fire")
+	}
+	if !errors.Is(s.Interrupted(), stop) {
+		t.Fatalf("Interrupted() = %v, want %v", s.Interrupted(), stop)
+	}
+	if ran == 0 || s.Now() >= time.Hour {
+		t.Fatalf("run halted wrong: ran=%d now=%v", ran, s.Now())
+	}
+	// An interrupted sim stays halted: later runs execute nothing and do
+	// not advance the clock.
+	before := s.Now()
+	if n := s.RunUntil(2 * time.Hour); n != 0 {
+		t.Fatalf("interrupted sim executed %d more events", n)
+	}
+	if s.Now() != before {
+		t.Fatalf("interrupted sim advanced clock %v -> %v", before, s.Now())
+	}
+}
+
+func TestInterruptNilCheckIsIdentical(t *testing.T) {
+	run := func(install bool) (uint64, Time) {
+		s := New(7)
+		var tick func()
+		left := 5000
+		tick = func() {
+			if left--; left > 0 {
+				s.MustSchedule(time.Millisecond, tick)
+			}
+		}
+		s.MustSchedule(time.Millisecond, tick)
+		if install {
+			s.SetInterrupt(func() error { return nil })
+		}
+		n := s.RunUntil(10 * time.Second)
+		return n, s.Now()
+	}
+	n1, t1 := run(false)
+	n2, t2 := run(true)
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("nil-returning interrupt perturbed the run: (%d,%v) vs (%d,%v)", n1, t1, n2, t2)
+	}
 }

@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -22,9 +23,9 @@ import (
 func renderEvaluations(t *testing.T, workers int) []byte {
 	t.Helper()
 	reg := core.StandardRegistry()
-	evs, err := eval.EvaluateAll(products.All(), reg, eval.Options{Seed: 11, Quick: true, Workers: workers})
+	evs, err := eval.EvaluateAll(context.Background(), products.All(), reg, eval.Options{Seed: 11, Quick: true, Workers: workers})
 	if err != nil {
-		t.Fatalf("EvaluateAll(workers=%d): %v", workers, err)
+		t.Fatalf("EvaluateAll(context.Background(), workers=%d): %v", workers, err)
 	}
 	var buf bytes.Buffer
 	for _, ev := range evs {
@@ -56,12 +57,12 @@ func TestParallelEvaluationMatchesSerial(t *testing.T) {
 // sensitivity sweep, whose points fan out across the pool.
 func TestParallelSweepMatchesSerial(t *testing.T) {
 	run := func(workers int) *eval.SweepResult {
-		res, err := eval.SensitivitySweep(products.StreamHunter(), eval.SweepOptions{
+		res, err := eval.SensitivitySweep(context.Background(), products.StreamHunter(), eval.SweepOptions{
 			Seed: 23, Points: 5, Workers: workers,
 			TrainFor: 5 * time.Second, RunFor: 8 * time.Second, Pps: 200,
 		})
 		if err != nil {
-			t.Fatalf("SensitivitySweep(workers=%d): %v", workers, err)
+			t.Fatalf("SensitivitySweep(context.Background(), workers=%d): %v", workers, err)
 		}
 		return res
 	}
