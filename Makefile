@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchtrace benchobs ci eval sweep traces faultscenarios faultgolden campaign-smoke clean
+.PHONY: all build test race bench benchhot benchgate benchtrace benchobs ci eval sweep traces faultscenarios faultgolden campaign-smoke clean
 
 all: build test race
 
@@ -28,29 +28,46 @@ race:
 # runner's crash-safety contracts: resume is byte-identical, panics are
 # isolated and journaled, cancellation drains cleanly, and the stall
 # watchdog fires (all under -race), finishing with an end-to-end
-# interrupt/resume smoke of the campaign binary itself.
+# interrupt/resume smoke of the campaign binary itself. The batched-scan
+# differential fuzz seeds run as regression tests alongside the trace
+# decoder's, and benchgate holds signature-scan throughput within 15% of
+# the committed BENCH_hotpath.json baseline.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -run Fuzz ./internal/trace/
+	$(GO) test -run Fuzz ./internal/trace/ ./internal/detect/
 	$(GO) test -race -run 'ConcurrentRegistryUse|DisabledPathAllocFree' ./internal/obs/
 	$(GO) test -race -run 'TelemetryDeterminism|ReplayStdout|NoFaultDeterminism|FaultSweepReproducible' ./internal/eval/
 	$(GO) test -race -run 'CrashResume|ResumeAfterJournaledPanic|Cancellation|Watchdog|ReplayJournal' ./internal/campaign/
 	$(MAKE) faultscenarios
 	$(MAKE) campaign-smoke
+	$(MAKE) benchgate
 
 # Regenerate every table and figure of the paper.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-path microbenchmarks with allocation counts, captured as JSON so
-# successive runs can be diffed (benchcmp-style) across commits.
+# successive runs can be diffed (benchcmp-style) across commits. The
+# committed BENCH_hotpath.json doubles as the benchgate baseline.
+HOTBENCH := SignatureInspect|AhoCorasick|NaiveScan4K|MatcherConstruct|ScanBatch|ScanSetInto|HTTPRequest|HTTPResponse|SyslogMessage|BulkChunk|FrameDialogue
+
 benchhot:
-	$(GO) test -run=NONE -bench='SignatureInspect|HTTPRequest|HTTPResponse|SyslogMessage|BulkChunk|FrameDialogue' \
+	$(GO) test -run=NONE -bench='$(HOTBENCH)' \
 		-benchmem -count=1 -json ./internal/detect/ ./internal/traffic/ > BENCH_hotpath.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_hotpath.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_hotpath.json"
+
+# Hot-path regression gate: rerun the benchhot suite into a scratch file
+# and fail if any MB/s benchmark dropped more than 15% against the
+# committed BENCH_hotpath.json. Regenerate the baseline with `make
+# benchhot` (and commit it) after an intentional perf change.
+benchgate:
+	$(GO) test -run=NONE -bench='$(HOTBENCH)' \
+		-benchmem -count=1 -json ./internal/detect/ ./internal/traffic/ > /tmp/BENCH_hotpath.current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_hotpath.json \
+		-current /tmp/BENCH_hotpath.current.json -max-drop-pct 15
 
 # Trace codec benchmarks (IDT2 encode/decode throughput, allocation
 # counts, and the replay live-heap comparison), captured as JSON so
@@ -124,6 +141,8 @@ traces:
 	$(GO) run ./cmd/trafficgen -o /tmp/eval.idtr -seconds 60 -pps 600
 	$(GO) run ./cmd/replay -trace /tmp/eval.idtr -product TrueSecure
 
+# BENCH_hotpath.json is NOT cleaned: it is the committed benchgate
+# baseline, regenerated deliberately via `make benchhot`.
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.json BENCH_trace.json BENCH_obs.json
+	rm -f test_output.txt bench_output.txt BENCH_trace.json BENCH_obs.json

@@ -1,0 +1,156 @@
+// Command benchgate compares a fresh hot-path benchmark run against the
+// committed baseline (BENCH_hotpath.json) and fails if any throughput
+// benchmark regressed beyond the allowed drop. It reads the `go test
+// -json` stream format both files are captured in, so the gate needs no
+// extra tooling beyond the repository's own benchmark targets.
+//
+// Only MB/s benchmarks gate (the scan hot path's unit); ns/op-only
+// benchmarks such as matcher construction are reported for the record
+// but do not fail the build — construction cost is amortized by the
+// process-wide matcher cache and is inherently noisier.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	name string
+	mbps float64 // 0 if the benchmark reports no MB/s
+	nsOp float64
+}
+
+// cpuSuffix strips the -N GOMAXPROCS suffix so baselines survive a CPU
+// count change on the measuring host.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchFile extracts benchmark results from a `go test -json` file.
+// test2json emits output in arbitrary chunks (a benchmark's name and its
+// measurements usually arrive as separate events), so the output stream
+// is reassembled per package before line parsing.
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	streams := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action  string
+			Package string
+			Output  string
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) != nil || ev.Action != "output" {
+			continue
+		}
+		b := streams[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			streams[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchResult)
+	for _, b := range streams {
+		for _, line := range strings.Split(b.String(), "\n") {
+			if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				continue
+			}
+			r := benchResult{name: cpuSuffix.ReplaceAllString(fields[0], "")}
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				switch fields[i+1] {
+				case "ns/op":
+					r.nsOp = v
+				case "MB/s":
+					r.mbps = v
+				}
+			}
+			out[r.name] = r
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed baseline benchmark JSON")
+	currentPath := flag.String("current", "", "fresh benchmark JSON to gate")
+	maxDrop := flag.Float64("max-drop-pct", 15, "maximum allowed MB/s drop, percent")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := parseBenchFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseBenchFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks in baseline %s\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	failed := false
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	// Stable report order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-34s baseline %8.2f MB/s, absent from current run\n", name, b.mbps)
+			failed = true
+			continue
+		}
+		if b.mbps <= 0 {
+			fmt.Printf("info     %-34s %10.0f ns/op (baseline %.0f) — not gated\n", name, c.nsOp, b.nsOp)
+			continue
+		}
+		dropPct := (b.mbps - c.mbps) / b.mbps * 100
+		status := "ok"
+		if dropPct > *maxDrop {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-8s %-34s %8.2f -> %8.2f MB/s (%+.1f%%)\n", status, name, b.mbps, c.mbps, -dropPct)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: hot-path throughput regressed more than %.0f%% (or benchmarks went missing) vs %s\n", *maxDrop, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all gated benchmarks within %.0f%% of baseline\n", *maxDrop)
+}

@@ -32,10 +32,16 @@ type matcherCacheEntry struct {
 }
 
 // Cache instrumentation: how many distinct automata were actually
-// compiled versus how many constructions were served from cache.
+// compiled versus how many constructions were served from cache, plus
+// the resident footprint of the cached automata (matchers and their
+// flattened state bytes — dense rows, sparse CSR edges, output lists,
+// retained patterns). Collision builds are compiled uncached and are
+// deliberately excluded from the resident gauges.
 var (
-	matcherCacheBuilds atomic.Uint64
-	matcherCacheHits   atomic.Uint64
+	matcherCacheBuilds     atomic.Uint64
+	matcherCacheHits       atomic.Uint64
+	matcherCacheResident   atomic.Uint64
+	matcherCacheStateBytes atomic.Uint64
 )
 
 // MatcherCacheStats reports how many automaton compilations the cache
@@ -47,17 +53,31 @@ func MatcherCacheStats() (builds, hits uint64) {
 	return matcherCacheBuilds.Load(), matcherCacheHits.Load()
 }
 
+// MatcherCacheFootprint reports how many automata the cache holds
+// resident and their combined state bytes, computed from each cached
+// Matcher's actual flattened layout (Matcher.StateBytes) at build time —
+// not an estimate from the old dense-table shape.
+func MatcherCacheFootprint() (matchers, stateBytes uint64) {
+	return matcherCacheResident.Load(), matcherCacheStateBytes.Load()
+}
+
 // PublishCacheMetrics copies the process-wide matcher-cache counters
 // into reg as gauges under "detect.matcher_cache." (gauges, not
 // counters, because the cache is process-global and a registry may be
-// snapshotted more than once). No-op on a nil registry.
+// snapshotted more than once). The matchers/state_bytes gauges report
+// the flattened hybrid layout's real resident footprint so obs
+// scorecards stay truthful about detection-state memory. No-op on a nil
+// registry.
 func PublishCacheMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	builds, hits := MatcherCacheStats()
+	matchers, stateBytes := MatcherCacheFootprint()
 	reg.Gauge("detect.matcher_cache.builds").Set(int64(builds))
 	reg.Gauge("detect.matcher_cache.hits").Set(int64(hits))
+	reg.Gauge("detect.matcher_cache.matchers").Set(int64(matchers))
+	reg.Gauge("detect.matcher_cache.state_bytes").Set(int64(stateBytes))
 }
 
 // corpusFingerprint hashes a pattern corpus with FNV-1a, framing each
@@ -111,6 +131,8 @@ func CachedMatcher(patterns [][]byte) *Matcher {
 		e.patterns = patterns
 		e.matcher = NewMatcher(patterns)
 		matcherCacheBuilds.Add(1)
+		matcherCacheResident.Add(1)
+		matcherCacheStateBytes.Add(uint64(e.matcher.StateBytes()))
 		built = true
 	})
 	if !built {

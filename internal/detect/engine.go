@@ -59,6 +59,28 @@ type Engine interface {
 	CostPerPacket(p *packet.Packet) time.Duration
 }
 
+// Prescanning is the optional engine capability behind sensor-side
+// batched inspection. An engine implementing it can split inspection in
+// two: a pure content-scan phase that runs over a whole batch of queued
+// payloads at once (one interleaved automaton pass), and the stateful
+// phase — suppression, thresholds, alert assembly — which still runs per
+// packet at that packet's own inspection time. The contract that keeps
+// batching invisible: PrescanBatch must not mutate engine state, and
+// InspectPrescanned(p, now, i) must return exactly Inspect(p, now) when
+// i's memoized payload is p's. Batch boundaries therefore cannot change
+// alert content, ordering, suppression, or threshold behaviour.
+type Prescanning interface {
+	Engine
+	// PrescanBatch scans the payload batch, memoizing per-payload match
+	// sets keyed by position. It reports false — scanning nothing — when
+	// prescanning is currently unsafe (e.g. stream reassembly makes scan
+	// input stateful); the caller then falls back to Inspect.
+	PrescanBatch(payloads [][]byte) bool
+	// InspectPrescanned is Inspect with the content scan replaced by the
+	// idx-th memoized prescan result.
+	InspectPrescanned(p *packet.Packet, now time.Duration, idx int) []Alert
+}
+
 // Mechanism is the detection-mechanism taxonomy of Section 2.1.
 type Mechanism int
 

@@ -1,0 +1,131 @@
+package detect
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScanBatchEquivalence is the differential gate for the batched
+// scanner: for an arbitrary pattern corpus and an arbitrary payload
+// batch, ScanBatch's per-payload distinct hit sets must be identical to
+// scalar ScanSetInto's, which in turn must match the quadratic NaiveScan
+// reference. It also cross-checks the flattened hybrid automaton's full
+// match stream (Scan) against NaiveScan, so a layout bug that shifts,
+// drops, or duplicates matches cannot hide behind set semantics.
+func FuzzScanBatchEquivalence(f *testing.F) {
+	f.Add([]byte("\x04root\x03cat\x06passwd\x02.."), []byte("\x10cat /etc/passwd!\x00\x05root."))
+	f.Add([]byte("\x01a\x02ab\x03abc\x04abcd"), []byte("\x0aabcdabcdab\x01a\x00\x03abc"))
+	f.Add([]byte("\x02\x00\x01\x03\xff\xfe\xfd"), []byte("\x08\x00\x01\x00\x01\xff\xfe\xfd\x00"))
+	f.Add([]byte("\x05needl\x05eedle"), bytes.Repeat([]byte("\x07needle "), 12))
+
+	f.Fuzz(func(t *testing.T, spec, blob []byte) {
+		// spec frames the corpus: length byte (1..16) then pattern bytes.
+		var pats [][]byte
+		for len(spec) >= 2 && len(pats) < 12 {
+			n := int(spec[0])%16 + 1
+			spec = spec[1:]
+			if n > len(spec) {
+				n = len(spec)
+			}
+			if n > 0 {
+				pats = append(pats, spec[:n])
+			}
+			spec = spec[n:]
+		}
+		// blob frames the payload batch: length byte then payload bytes
+		// (zero-length payloads included — a real batch shape).
+		var payloads [][]byte
+		for len(blob) >= 1 && len(payloads) < 3*batchLanes {
+			n := int(blob[0])
+			blob = blob[1:]
+			if n > len(blob) {
+				n = len(blob)
+			}
+			payloads = append(payloads, blob[:n])
+			blob = blob[n:]
+		}
+
+		m := NewMatcher(pats)
+		var bbuf BatchBuf
+		m.ScanBatch(payloads, &bbuf)
+		if bbuf.Len() != len(payloads) {
+			t.Fatalf("ScanBatch covered %d payloads, want %d", bbuf.Len(), len(payloads))
+		}
+		var sbuf ScanBuf
+		for i, pl := range payloads {
+			got := bbuf.Hits(i)
+			want := m.ScanSetInto(pl, &sbuf)
+			if !equalInt32(got, want) {
+				t.Fatalf("payload %d: ScanBatch %v, ScanSetInto %v", i, got, want)
+			}
+			naive := distinctPatterns(NaiveScan(pats, pl))
+			if !equalInt32(want, naive) {
+				t.Fatalf("payload %d: ScanSetInto %v, NaiveScan set %v", i, want, naive)
+			}
+			checkScanAgainstNaive(t, m, pats, pl)
+		}
+		// Buffer reuse must not leak state between batches: a second pass
+		// over the same payloads yields the same answer.
+		first := append([]int32(nil), bbuf.arena...)
+		m.ScanBatch(payloads, &bbuf)
+		if !equalInt32(first, bbuf.arena) {
+			t.Fatalf("ScanBatch not idempotent under buffer reuse: %v then %v", first, bbuf.arena)
+		}
+	})
+}
+
+// checkScanAgainstNaive compares the automaton's full occurrence stream
+// with the naive reference, order-normalized to (End, Pattern).
+func checkScanAgainstNaive(t *testing.T, m *Matcher, pats [][]byte, data []byte) {
+	t.Helper()
+	got := m.Scan(data)
+	sortMatches(got)
+	want := NaiveScan(pats, data)
+	if len(got) != len(want) {
+		t.Fatalf("Scan found %d matches, NaiveScan %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: Scan %v, NaiveScan %v", i, got[i], want[i])
+		}
+	}
+}
+
+func sortMatches(ms []Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && (ms[j].End < ms[j-1].End ||
+			(ms[j].End == ms[j-1].End && ms[j].Pattern < ms[j-1].Pattern)); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func distinctPatterns(ms []Match) []int32 {
+	var out []int32
+	for _, mt := range ms {
+		dup := false
+		for _, p := range out {
+			if p == int32(mt.Pattern) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, int32(mt.Pattern))
+		}
+	}
+	insertionSortInt32(out)
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

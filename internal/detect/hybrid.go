@@ -86,6 +86,29 @@ func (e *HybridEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 	return e.tag(append(sigAlerts, e.anom.Inspect(p, now)...))
 }
 
+// PrescanBatch implements Prescanning by delegating the content-scan
+// phase to the signature child (the anomaly child inspects headers and
+// statistics, not payload patterns). False when the child cannot
+// prescan.
+func (e *HybridEngine) PrescanBatch(payloads [][]byte) bool {
+	ps, ok := e.sig.(Prescanning)
+	return ok && ps.PrescanBatch(payloads)
+}
+
+// InspectPrescanned implements Prescanning, composing exactly as Inspect
+// does but feeding the signature child its memoized match set.
+func (e *HybridEngine) InspectPrescanned(p *packet.Packet, now time.Duration, idx int) []Alert {
+	ps, ok := e.sig.(Prescanning)
+	if !ok {
+		return e.Inspect(p, now)
+	}
+	sigAlerts := ps.InspectPrescanned(p, now, idx)
+	if e.mode == HybridSerial && len(sigAlerts) > 0 {
+		return e.tag(sigAlerts)
+	}
+	return e.tag(append(sigAlerts, e.anom.Inspect(p, now)...))
+}
+
 // tag stamps the hybrid's name on child alerts so monitors attribute them
 // to the composed engine.
 func (e *HybridEngine) tag(alerts []Alert) []Alert {

@@ -143,6 +143,160 @@ func TestCachedMatcherConcurrentScans(t *testing.T) {
 	}
 }
 
+// standardPatterns returns the stock content-rule corpus's patterns.
+func standardPatterns() [][]byte {
+	rules := StandardContentRules()
+	pats := make([][]byte, len(rules))
+	for i, r := range rules {
+		pats[i] = r.Pattern
+	}
+	return pats
+}
+
+// batchPayloads synthesizes n realistic benign payloads of ~sz bytes for
+// batched-scan benchmarks.
+func batchPayloads(n, sz int) [][]byte {
+	words := []byte("GET /index.html HTTP/1.0 Host: shop.example.com status nominal track update bearing range ")
+	out := make([][]byte, n)
+	seed := uint64(12345)
+	for i := range out {
+		b := make([]byte, sz)
+		for j := range b {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			b[j] = words[seed>>33%uint64(len(words))]
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestScanBatchZeroAllocs pins the steady-state batched path at zero
+// allocations per op once the BatchBuf has warmed.
+func TestScanBatchZeroAllocs(t *testing.T) {
+	m := NewMatcher(standardPatterns())
+	payloads := batchPayloads(32, 512)
+	var buf BatchBuf
+	m.ScanBatch(payloads, &buf)
+	allocs := testing.AllocsPerRun(100, func() {
+		m.ScanBatch(payloads, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ScanBatch steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestScanBatchMatchesScalar cross-checks the interleaved batch scanner
+// against per-payload ScanSetInto over the standard corpus, including
+// ragged batch shapes (empty payloads, singletons, > batchLanes).
+func TestScanBatchMatchesScalar(t *testing.T) {
+	m := NewMatcher(standardPatterns())
+	payloads := [][]byte{
+		nil,
+		[]byte("nothing of note"),
+		[]byte("GET /cgi-bin/phf HTTP/1.0"),
+		[]byte("login as admin, cat /etc/passwd, su root"),
+		bytes.Repeat([]byte{0x90}, 64),
+		[]byte("Login incorrectLogin incorrect"),
+		[]byte(""),
+		[]byte("x"),
+		[]byte("default.ida?NNNN ..%c0%af site exec %p pidof auditd"),
+		bytes.Repeat([]byte("rootrooty"), 40),
+		[]byte("> /.rhosts chmod 4755 /tmp/sh"),
+	}
+	for n := 0; n <= len(payloads); n++ {
+		batch := payloads[:n]
+		var bbuf BatchBuf
+		m.ScanBatch(batch, &bbuf)
+		if bbuf.Len() != n {
+			t.Fatalf("ScanBatch len = %d, want %d", bbuf.Len(), n)
+		}
+		var sbuf ScanBuf
+		for i, pl := range batch {
+			want := append([]int32(nil), m.ScanSetInto(pl, &sbuf)...)
+			got := bbuf.Hits(i)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d payload %d: batch %v, scalar %v", n, i, got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d payload %d: batch %v, scalar %v", n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMatcherConstructStandard measures compiling the stock corpus
+// into the flattened hybrid layout — the cost the process-wide cache
+// amortizes to one per corpus.
+func BenchmarkMatcherConstructStandard(b *testing.B) {
+	pats := standardPatterns()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewMatcher(pats)
+	}
+}
+
+// BenchmarkScanBatch32x512 is the headline batched-throughput number: 32
+// payloads of 512 B scanned per op through the interleaved lanes.
+func BenchmarkScanBatch32x512(b *testing.B) {
+	m := NewMatcher(standardPatterns())
+	payloads := batchPayloads(32, 512)
+	var buf BatchBuf
+	m.ScanBatch(payloads, &buf)
+	b.SetBytes(32 * 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanBatch(payloads, &buf)
+	}
+}
+
+// BenchmarkScanBatch8x4K matches the scalar 4K benchmark's payload size
+// at full lane width.
+func BenchmarkScanBatch8x4K(b *testing.B) {
+	m := NewMatcher(standardPatterns())
+	payloads := batchPayloads(8, 4096)
+	var buf BatchBuf
+	m.ScanBatch(payloads, &buf)
+	b.SetBytes(8 * 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanBatch(payloads, &buf)
+	}
+}
+
+// BenchmarkScanBatch1x4K pins the degenerate single-lane batch: the
+// batched path must not regress the unbatched scan it replaces.
+func BenchmarkScanBatch1x4K(b *testing.B) {
+	m := NewMatcher(standardPatterns())
+	payloads := batchPayloads(1, 4096)
+	var buf BatchBuf
+	m.ScanBatch(payloads, &buf)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanBatch(payloads, &buf)
+	}
+}
+
+// BenchmarkScanSetInto4K is the scalar reference the batch numbers are
+// judged against (same corpus, same data shape as ScanBatch8x4K).
+func BenchmarkScanSetInto4K(b *testing.B) {
+	m := NewMatcher(standardPatterns())
+	data := batchPayloads(1, 4096)[0]
+	var buf ScanBuf
+	m.ScanSetInto(data, &buf)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScanSetInto(data, &buf)
+	}
+}
+
 // TestScanSetIntoMatchesScanSet cross-checks the zero-allocation scan
 // against the allocating original across the standard corpus.
 func TestScanSetIntoMatchesScanSet(t *testing.T) {

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -140,5 +141,152 @@ func TestStealthySingleByteFragments(t *testing.T) {
 	}
 	if alerts == 0 {
 		t.Fatal("single-byte fragmentation evaded reassembly")
+	}
+}
+
+// --- Batching interaction -------------------------------------------------
+//
+// The batched-scan contract (Prescanning) says batch boundaries can never
+// change alert output, and that a reassembling engine must refuse to
+// prescan at all: reassembly makes the scan input depend on mutable
+// per-flow state, so its scans are not pure.
+
+// feedOneBatch drives an engine the way a sensor with a deep queue does:
+// one PrescanBatch over every payload, then per-packet inspection against
+// the memoized match sets (falling back to scalar Inspect if the engine
+// refuses the prescan).
+func feedOneBatch(e *SignatureEngine, pkts []*packet.Packet) []Alert {
+	payloads := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		payloads[i] = p.Payload
+	}
+	var out []Alert
+	now := 10 * time.Millisecond
+	if e.PrescanBatch(payloads) {
+		for i, p := range pkts {
+			out = append(out, e.InspectPrescanned(p, now, i)...)
+			now += 50 * time.Microsecond
+		}
+		return out
+	}
+	for _, p := range pkts {
+		out = append(out, e.Inspect(p, now)...)
+		now += 50 * time.Microsecond
+	}
+	return out
+}
+
+// feedPerPacket drives an engine the way an idle sensor does: every scan
+// cycle sees a queue of one, so each packet is its own batch.
+func feedPerPacket(e *SignatureEngine, pkts []*packet.Packet) []Alert {
+	var out []Alert
+	now := 10 * time.Millisecond
+	for _, p := range pkts {
+		if e.PrescanBatch([][]byte{p.Payload}) {
+			out = append(out, e.InspectPrescanned(p, now, 0)...)
+		} else {
+			out = append(out, e.Inspect(p, now)...)
+		}
+		now += 50 * time.Microsecond
+	}
+	return out
+}
+
+// feedScalar is the reference: plain per-packet Inspect, no prescanning.
+func feedScalar(e *SignatureEngine, pkts []*packet.Packet) []Alert {
+	var out []Alert
+	now := 10 * time.Millisecond
+	for _, p := range pkts {
+		out = append(out, e.Inspect(p, now)...)
+		now += 50 * time.Microsecond
+	}
+	return out
+}
+
+// TestBatchBoundariesDoNotChangeAlerts pins the Prescanning equivalence
+// contract on the stock engine: the same packet sequence produces
+// byte-identical alerts whether the payloads are scanned as one batch,
+// one batch per packet, or never prescanned at all — including repeated
+// same-flow attacks (suppression state) and threshold-rule traffic.
+func TestBatchBoundariesDoNotChangeAlerts(t *testing.T) {
+	mkPkts := func() []*packet.Packet {
+		syn := segPkt(4000, packet.SYN, "")
+		return []*packet.Packet{
+			segPkt(1000, packet.ACK, "GET /cgi-bin/phf?Qalias=x HTTP/1.0"),
+			segPkt(2000, packet.ACK, "status report nominal, nothing here"),
+			segPkt(1000, packet.ACK, "GET /cgi-bin/phf?Qalias=x HTTP/1.0"), // same flow: suppression
+			segPkt(3000, packet.ACK, "cat /etc/passwd then > /.rhosts"),
+			segPkt(5000, packet.ACK, ""),
+			syn,
+		}
+	}
+	a := feedOneBatch(NewStandardSignatureEngine(), mkPkts())
+	b := feedPerPacket(NewStandardSignatureEngine(), mkPkts())
+	c := feedScalar(NewStandardSignatureEngine(), mkPkts())
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("one-batch feed diverged from scalar:\n%v\nvs\n%v", a, c)
+	}
+	if !reflect.DeepEqual(b, c) {
+		t.Fatalf("per-packet batch feed diverged from scalar:\n%v\nvs\n%v", b, c)
+	}
+	if len(c) == 0 {
+		t.Fatal("test traffic raised no alerts; equivalence check is vacuous")
+	}
+}
+
+// TestReassemblingEngineRefusesPrescan pins the purity gate: an engine
+// with cross-segment reassembly must decline batch prescans (its scan
+// input depends on mutable flow tails), while the stock engine accepts.
+func TestReassemblingEngineRefusesPrescan(t *testing.T) {
+	if NewReassemblingSignatureEngine().PrescanBatch([][]byte{[]byte("x")}) {
+		t.Fatal("reassembling engine accepted a batch prescan")
+	}
+	if !NewStandardSignatureEngine().PrescanBatch([][]byte{[]byte("x")}) {
+		t.Fatal("stock engine refused a batch prescan")
+	}
+}
+
+// TestReassemblySegmentsAcrossBatches feeds a pattern split across two
+// TCP segments through all three feed shapes: alerts must be identical
+// (the refused prescan forces every shape onto the scalar path) and the
+// cross-segment match must fire, proving batching cannot cost the engine
+// its reassembly catches.
+func TestReassemblySegmentsAcrossBatches(t *testing.T) {
+	mkPkts := func() []*packet.Packet {
+		return []*packet.Packet{
+			segPkt(1000, packet.ACK, "GET /cgi-b"),
+			segPkt(2000, packet.ACK, "unrelated flow chatter"),
+			segPkt(1000, packet.ACK, "in/phf?Qalias=x HTTP/1.0"), // completes cgi-bin/phf
+		}
+	}
+	a := feedOneBatch(NewReassemblingSignatureEngine(), mkPkts())
+	b := feedPerPacket(NewReassemblingSignatureEngine(), mkPkts())
+	c := feedScalar(NewReassemblingSignatureEngine(), mkPkts())
+	if !reflect.DeepEqual(a, c) || !reflect.DeepEqual(b, c) {
+		t.Fatalf("reassembly feeds diverged:\none-batch %v\nper-packet %v\nscalar %v", a, b, c)
+	}
+	if len(c) == 0 {
+		t.Fatal("cross-segment pattern raised no alert")
+	}
+	// The engine without reassembly must NOT see the split pattern —
+	// the alerts above really are reassembly catches.
+	if got := feedOneBatch(NewStandardSignatureEngine(), mkPkts()); len(got) != 0 {
+		t.Fatalf("non-reassembling engine alerted on split segments: %v", got)
+	}
+}
+
+// TestInspectPrescannedFallsBackWhenReassembling pins the defensive
+// fallback: even if a caller wrongly asks a reassembling engine for a
+// prescanned inspection, it silently takes the scalar path and produces
+// exactly Inspect's output.
+func TestInspectPrescannedFallsBackWhenReassembling(t *testing.T) {
+	p := segPkt(1000, packet.ACK, "GET /cgi-bin/phf HTTP/1.0")
+	got := NewReassemblingSignatureEngine().InspectPrescanned(p, time.Millisecond, 0)
+	want := NewReassemblingSignatureEngine().Inspect(p, time.Millisecond)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback diverged: %v vs %v", got, want)
+	}
+	if len(want) == 0 {
+		t.Fatal("probe packet raised no alert; fallback check is vacuous")
 	}
 }

@@ -1,0 +1,284 @@
+package detect
+
+// Batched scanning. A single Aho–Corasick traversal is latency-bound:
+// every input byte costs one dependent table load, so the core sits idle
+// waiting on L1/L2 while the scan crawls at a few ns/byte. ScanBatch
+// breaks the dependence by interleaving up to batchLanes independent
+// traversals — lane i's next load does not depend on lane j's — letting
+// the out-of-order core keep several automaton walks in flight at once.
+// Semantics are pinned by tests and fuzzing: per payload, ScanBatch
+// produces exactly ScanSetInto's sorted distinct pattern set, so batch
+// boundaries can never leak into alert content.
+
+// batchLanes is the interleave width. Four lanes cover the automaton's
+// dependent-load latency while the whole kernel working set — lane
+// pointers, lane states, table base and bound — still fits the
+// general-purpose register file, so the hot loop runs spill-free.
+const batchLanes = 4
+
+// BatchBuf is caller-owned scratch and result storage for ScanBatch.
+// One BatchBuf per scanning goroutine; buffers grow once and are reused,
+// so the steady-state batched path performs zero allocations.
+type BatchBuf struct {
+	n int
+	// offs/arena hold the per-payload hit lists back to back, in the
+	// payload order given to ScanBatch.
+	offs  []int32
+	arena []int32
+	// seen is a per-pattern bitmask of which lanes in the active group
+	// have already recorded the pattern; cleared incrementally.
+	seen []uint8
+	// laneHits collects each active lane's distinct hits (sorted at
+	// group flush).
+	laneHits [batchLanes][]int32
+}
+
+// Len reports how many payloads the last ScanBatch covered.
+func (b *BatchBuf) Len() int { return b.n }
+
+// Hits returns payload i's sorted distinct pattern indices from the last
+// ScanBatch. The slice aliases the buffer and is valid until the next
+// ScanBatch with the same buf.
+func (b *BatchBuf) Hits(i int) []int32 {
+	return b.arena[b.offs[i]:b.offs[i+1]]
+}
+
+// ScanBatch scans every payload, interleaving up to batchLanes automaton
+// traversals, and stores each payload's sorted distinct pattern indices
+// in buf (retrieve with buf.Hits). It is a pure read of the immutable
+// automaton: results are position-keyed, and per-payload output is
+// byte-identical to ScanSetInto on the same data.
+func (m *Matcher) ScanBatch(payloads [][]byte, buf *BatchBuf) {
+	buf.n = len(payloads)
+	buf.offs = append(buf.offs[:0], 0)
+	buf.arena = buf.arena[:0]
+	if len(buf.seen) < len(m.patterns) {
+		buf.seen = make([]uint8, len(m.patterns))
+	}
+	for g := 0; g < len(payloads); g += batchLanes {
+		k := len(payloads) - g
+		if k > batchLanes {
+			k = batchLanes
+		}
+		m.scanLaneGroup(payloads[g:g+k], buf)
+	}
+}
+
+// scanLaneGroup runs one interleaved group of up to batchLanes payloads.
+// Lanes are ordered longest-first so the hot loop only steps live lanes
+// (a finished short payload never costs the group a branch per byte).
+func (m *Matcher) scanLaneGroup(group [][]byte, buf *BatchBuf) {
+	k := len(group)
+	// ord[l] = original index of the lane in descending-length order
+	// (stable, so equal lengths keep payload order — not that results
+	// depend on it; lanes are fully independent).
+	var ord [batchLanes]int
+	for l := 0; l < k; l++ {
+		ord[l] = l
+	}
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && len(group[ord[j]]) > len(group[ord[j-1]]); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	var data [batchLanes][]byte
+	// states holds each lane's pre-shifted row base (state<<8), matching
+	// the packed transition encoding (see Matcher docs).
+	var states [batchLanes]uint32
+	for l := 0; l < k; l++ {
+		data[l] = group[ord[l]]
+	}
+
+	// Full-width prefix: while all batchLanes lanes are live (positions
+	// below the shortest payload's length), the hand-unrolled kernel
+	// keeps every lane's state in a register and every byte load
+	// bounds-check-free. For near-uniform payload sizes — the common
+	// sensor-queue shape — this covers almost the entire batch.
+	pos := 0
+	if k == batchLanes {
+		pos = m.scanKernel(&data, &states, len(data[batchLanes-1]), buf)
+	} else if k == 1 {
+		// A lone lane has no interleaving to win; run the scalar loop
+		// shape so the degenerate batch matches ScanSetInto's speed.
+		d := data[0]
+		dense := m.dense
+		r := states[0]
+		for i := 0; i < len(d); i++ {
+			idx := uint64(r) | uint64(d[i])
+			var v uint32
+			if idx < uint64(len(dense)) {
+				v = dense[idx]
+			} else {
+				v = m.stepSlow(int32(r>>8), d[i])
+			}
+			r = v >> 1
+			if v&1 != 0 {
+				m.collectLane(0, r>>8, buf)
+			}
+		}
+		states[0] = r
+		pos = len(d)
+	}
+
+	dense := m.dense
+	active := k
+	for ; active > 0; pos++ {
+		// Lanes are length-sorted, so the live set is always a prefix.
+		for active > 0 && pos >= len(data[active-1]) {
+			active--
+		}
+		for l := 0; l < active; l++ {
+			d := data[l]
+			idx := uint64(states[l]) | uint64(d[pos])
+			var v uint32
+			if idx < uint64(len(dense)) {
+				v = dense[idx]
+			} else {
+				v = m.stepSlow(int32(states[l]>>8), d[pos])
+			}
+			states[l] = v >> 1
+			if v&1 != 0 {
+				m.collectLane(l, states[l]>>8, buf)
+			}
+		}
+	}
+
+	// Flush: per original payload order, sort the lane's distinct hits,
+	// clear its seen bits, and append to the contiguous arena.
+	var perm [batchLanes]int
+	for l := 0; l < k; l++ {
+		perm[ord[l]] = l
+	}
+	for i := 0; i < k; i++ {
+		l := perm[i]
+		hits := buf.laneHits[l]
+		bit := uint8(1) << l
+		for _, p := range hits {
+			buf.seen[p] &^= bit
+		}
+		insertionSortInt32(hits)
+		buf.arena = append(buf.arena, hits...)
+		buf.offs = append(buf.offs, int32(len(buf.arena)))
+		buf.laneHits[l] = hits[:0]
+	}
+}
+
+// scanKernel advances all batchLanes lanes from position 0 through limit
+// (the shortest lane's length; lanes are length-sorted so every lane is
+// live for the whole range). The fast loop is call-free — lane row bases
+// live in registers with no spill slots, payloads are resliced to
+// exactly limit so byte loads are bounds-check-free — and the rare
+// events (sparse-state excursion, pattern output) break out to
+// kernelSlowPos, which finishes that one position with the full-fidelity
+// path before the fast loop resumes. Returns the position the generic
+// loop resumes from.
+func (m *Matcher) scanKernel(data *[batchLanes][]byte, states *[batchLanes]uint32, limit int, buf *BatchBuf) int {
+	if limit == 0 {
+		return 0
+	}
+	d0, d1, d2, d3 := data[0][:limit], data[1][:limit], data[2][:limit], data[3][:limit]
+	dense := m.dense
+	dl := uint64(len(dense))
+	pos := 0
+	for pos < limit {
+		s0, s1, s2, s3 := states[0], states[1], states[2], states[3]
+		// ev encodes the breaking lane in bits 0..1 and "already advanced"
+		// (output event, state updated) in bit 2; -1 means clean finish.
+		ev := -1
+	fast:
+		for ; pos < limit; pos++ {
+			var v uint32
+			idx := uint64(s0) | uint64(d0[pos])
+			if idx >= dl {
+				ev = 0
+				break fast
+			}
+			v = dense[idx]
+			s0 = v >> 1
+			if v&1 != 0 {
+				ev = 0 | 4
+				break fast
+			}
+			idx = uint64(s1) | uint64(d1[pos])
+			if idx >= dl {
+				ev = 1
+				break fast
+			}
+			v = dense[idx]
+			s1 = v >> 1
+			if v&1 != 0 {
+				ev = 1 | 4
+				break fast
+			}
+			idx = uint64(s2) | uint64(d2[pos])
+			if idx >= dl {
+				ev = 2
+				break fast
+			}
+			v = dense[idx]
+			s2 = v >> 1
+			if v&1 != 0 {
+				ev = 2 | 4
+				break fast
+			}
+			idx = uint64(s3) | uint64(d3[pos])
+			if idx >= dl {
+				ev = 3
+				break fast
+			}
+			v = dense[idx]
+			s3 = v >> 1
+			if v&1 != 0 {
+				ev = 3 | 4
+				break fast
+			}
+		}
+		states[0], states[1], states[2], states[3] = s0, s1, s2, s3
+		if ev < 0 {
+			break
+		}
+		m.kernelSlowPos(data, states, pos, ev, buf)
+		pos++
+	}
+	return limit
+}
+
+// kernelSlowPos completes one position for the breaking lane and every
+// lane after it, taking the sparse and output paths the fast loop
+// excluded. Lanes before the breaking lane already advanced.
+func (m *Matcher) kernelSlowPos(data *[batchLanes][]byte, states *[batchLanes]uint32, pos, ev int, buf *BatchBuf) {
+	l := ev & 3
+	if ev&4 != 0 {
+		// The breaking lane already advanced into an output state.
+		m.collectLane(l, states[l]>>8, buf)
+		l++
+	}
+	dense := m.dense
+	for ; l < batchLanes; l++ {
+		b := data[l][pos]
+		idx := uint64(states[l]) | uint64(b)
+		var v uint32
+		if idx < uint64(len(dense)) {
+			v = dense[idx]
+		} else {
+			v = m.stepSlow(int32(states[l]>>8), b)
+		}
+		states[l] = v >> 1
+		if v&1 != 0 {
+			m.collectLane(l, states[l]>>8, buf)
+		}
+	}
+}
+
+// collectLane records the output patterns of an accepting state into the
+// lane's distinct hit list. Rare relative to byte steps, so it stays out
+// of the interleaved loop's fast path.
+func (m *Matcher) collectLane(l int, state uint32, buf *BatchBuf) {
+	bit := uint8(1) << l
+	for _, p := range m.outs(state) {
+		if buf.seen[p]&bit == 0 {
+			buf.seen[p] |= bit
+			buf.laneHits[l] = append(buf.laneHits[l], p)
+		}
+	}
+}

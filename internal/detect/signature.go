@@ -123,6 +123,16 @@ func thresholdSuppressKey(rule int, counter uint64) suppressKey {
 	return suppressKey{threshold: true, rule: int32(rule), scope: counter}
 }
 
+// hashSuppressKey spreads (rule, scope) streams across the suppress
+// table's shards.
+func hashSuppressKey(k suppressKey) uint64 {
+	h := k.scope ^ uint64(uint32(k.rule))*0x9e3779b97f4a7c15
+	if k.threshold {
+		h ^= 0xd6e8feb86659fd93
+	}
+	return hashU64(h)
+}
+
 // SignatureEngine is a misuse detector: payload patterns via Aho–Corasick
 // plus stateful threshold rules for scans, floods, and repeated failures.
 // It detects only what its corpus describes — the paper's core criticism
@@ -141,16 +151,29 @@ type SignatureEngine struct {
 	thresholds  []ThresholdRule
 	sensitivity float64
 
-	// suppress deduplicates repeated fires of the same (rule, scope).
-	suppress map[suppressKey]time.Duration
+	// suppress deduplicates repeated fires of the same (rule, scope),
+	// held in fixed-shard open-addressing tables to keep the
+	// per-candidate-match lookup off the runtime-map slow path.
+	suppress *shardedMap[suppressKey, time.Duration]
 	// SuppressWindow is the per-(rule,scope) alert holdoff.
 	SuppressWindow time.Duration
 	// lastPrune bounds how often expired suppress/threshold state is
-	// swept; without the sweep both maps grow without bound on long
+	// swept; without the sweep both tables grow without bound on long
 	// replays (one entry per distinct flow ever seen).
 	lastPrune time.Duration
 
-	thState []map[uint64]*thresholdState
+	// thState[i] holds rule i's per-key sliding-window counters; drained
+	// states are recycled through thFree so steady-state threshold
+	// tracking allocates nothing.
+	thState []*shardedMap[uint64, *thresholdState]
+	thFree  []*thresholdState
+
+	// batch memoizes the most recent PrescanBatch's per-payload match
+	// sets for InspectPrescanned (see Prescanning).
+	batch BatchBuf
+	// PrescanBatches/PrescanPackets count batched-scan usage.
+	PrescanBatches uint64
+	PrescanPackets uint64
 
 	// reassembler, when non-nil, joins each packet's payload with its
 	// flow's retained tail so signatures split across TCP segments still
@@ -174,15 +197,15 @@ func NewSignatureEngine(rules []ContentRule, thresholds []ThresholdRule) *Signat
 		reasons:        make([]string, len(rules)),
 		thresholds:     thresholds,
 		sensitivity:    0.5,
-		suppress:       make(map[suppressKey]time.Duration),
+		suppress:       newShardedMap[suppressKey, time.Duration](hashSuppressKey),
 		SuppressWindow: 2 * time.Second,
-		thState:        make([]map[uint64]*thresholdState, len(thresholds)),
+		thState:        make([]*shardedMap[uint64, *thresholdState], len(thresholds)),
 	}
 	for i, r := range rules {
 		e.reasons[i] = fmt.Sprintf("signature %q matched", r.Name)
 	}
 	for i := range e.thState {
-		e.thState[i] = make(map[uint64]*thresholdState)
+		e.thState[i] = newShardedMap[uint64, *thresholdState](hashU64)
 	}
 	return e
 }
@@ -252,10 +275,11 @@ func keyFor(k ThresholdKey, p *packet.Packet) uint64 {
 
 // suppressed checks and arms the alert holdoff for key.
 func (e *SignatureEngine) suppressed(key suppressKey, now time.Duration) bool {
-	if last, ok := e.suppress[key]; ok && now-last < e.SuppressWindow {
+	last, found := e.suppress.Put(key)
+	if found && now-*last < e.SuppressWindow {
 		return true
 	}
-	e.suppress[key] = now
+	*last = now
 	return false
 }
 
@@ -263,41 +287,76 @@ func (e *SignatureEngine) suppressed(key suppressKey, now time.Duration) bool {
 // counters, amortized to at most one sweep per suppress window. Entries
 // are deleted exactly when the inspection path would already treat them
 // as expired, so pruning never changes detection behaviour — it only
-// caps the maps at the live working set instead of every flow ever
-// seen (the long-replay memory leak).
+// caps the tables at the live working set instead of every flow ever
+// seen (the long-replay memory leak). Drained threshold states are
+// recycled instead of freed.
 func (e *SignatureEngine) maybePrune(now time.Duration) {
 	if now-e.lastPrune < e.SuppressWindow {
 		return
 	}
 	e.lastPrune = now
-	for key, last := range e.suppress {
-		if now-last >= e.SuppressWindow {
-			delete(e.suppress, key)
-		}
-	}
+	e.suppress.Sweep(func(_ suppressKey, last *time.Duration) bool {
+		return now-*last < e.SuppressWindow
+	})
 	for i, r := range e.thresholds {
-		for k, st := range e.thState[i] {
+		e.thState[i].Sweep(func(_ uint64, stp **thresholdState) bool {
+			st := *stp
 			st.prune(now, r.Window)
 			if len(st.hits) == 0 {
-				delete(e.thState[i], k)
+				e.thFree = append(e.thFree, st)
+				return false
 			}
+			return true
+		})
+	}
+}
+
+// thresholdStateFor returns rule i's counter for key k, creating (or
+// recycling) one on first sight.
+func (e *SignatureEngine) thresholdStateFor(i int, k uint64, distinct bool) *thresholdState {
+	stp, found := e.thState[i].Put(k)
+	if !found {
+		if n := len(e.thFree); n > 0 {
+			*stp = e.thFree[n-1]
+			e.thFree[n-1] = nil
+			e.thFree = e.thFree[:n-1]
+		} else {
+			*stp = &thresholdState{}
+		}
+		if distinct && (*stp).ports == nil {
+			(*stp).ports = make(map[uint16]int)
 		}
 	}
+	return *stp
 }
 
 // Inspect implements Engine.
 func (e *SignatureEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
+	return e.inspect(p, now, nil, false)
+}
+
+// inspect is the shared inspection body: when prescanned is set, hits is
+// the memoized sorted distinct match set for p's payload (from
+// PrescanBatch) and the content scan is skipped; otherwise the payload
+// (with reassembly, if enabled) is scanned inline. Everything stateful —
+// fidelity filtering, suppression, thresholds — runs here, at the
+// packet's own inspection time, so batching is invisible to alert
+// content and ordering.
+func (e *SignatureEngine) inspect(p *packet.Packet, now time.Duration, hits []int32, prescanned bool) []Alert {
 	e.Inspected++
 	e.maybePrune(now)
 	var alerts []Alert
 	minFidelity := 1 - e.sensitivity
 
 	if len(p.Payload) > 0 {
-		data := p.Payload
-		if e.reassembler != nil {
-			data = e.reassembler.Extend(p)
+		if !prescanned {
+			data := p.Payload
+			if e.reassembler != nil {
+				data = e.reassembler.Extend(p)
+			}
+			hits = e.matcher.ScanSetInto(data, &e.scanBuf)
 		}
-		for _, idx := range e.matcher.ScanSetInto(data, &e.scanBuf) {
+		for _, idx := range hits {
 			r := e.rules[idx]
 			if r.Fidelity < minFidelity {
 				continue
@@ -319,14 +378,7 @@ func (e *SignatureEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 			continue
 		}
 		k := keyFor(r.Key, p)
-		st, ok := e.thState[i][k]
-		if !ok {
-			st = &thresholdState{}
-			if r.DistinctPorts {
-				st.ports = make(map[uint16]int)
-			}
-			e.thState[i][k] = st
-		}
+		st := e.thresholdStateFor(i, k, r.DistinctPorts)
 		st.prune(now, r.Window)
 		count := st.add(now, p.DstPort, r.DistinctPorts)
 		if count >= e.thresholdEffective(r.BaseCount) {
@@ -345,6 +397,34 @@ func (e *SignatureEngine) Inspect(p *packet.Packet, now time.Duration) []Alert {
 		}
 	}
 	return alerts
+}
+
+// PrescanBatch implements Prescanning: it scans the payload batch in one
+// interleaved Aho–Corasick pass and memoizes the per-payload match sets
+// for InspectPrescanned. Pure — no engine state is touched, so a batch
+// may be scanned speculatively and partially discarded (e.g. when a
+// sensor dies mid-queue). Returns false, scanning nothing, while stream
+// reassembly is enabled: reassembly makes scan input depend on mutable
+// flow tails, which only the in-order scalar path may advance.
+func (e *SignatureEngine) PrescanBatch(payloads [][]byte) bool {
+	if e.reassembler != nil {
+		return false
+	}
+	e.matcher.ScanBatch(payloads, &e.batch)
+	e.PrescanBatches++
+	e.PrescanPackets += uint64(len(payloads))
+	return true
+}
+
+// InspectPrescanned implements Prescanning: Inspect with the content
+// scan replaced by entry idx of the last PrescanBatch. The caller must
+// present packets in the same order and positions as the prescanned
+// payload batch.
+func (e *SignatureEngine) InspectPrescanned(p *packet.Packet, now time.Duration, idx int) []Alert {
+	if e.reassembler != nil || idx < 0 || idx >= e.batch.Len() {
+		return e.inspect(p, now, nil, false)
+	}
+	return e.inspect(p, now, e.batch.Hits(idx), true)
 }
 
 // StandardContentRules is the 2001-era signature corpus the simulated

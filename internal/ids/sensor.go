@@ -62,6 +62,24 @@ type Sensor struct {
 	// owning IDS for self-health reporting.
 	onStateChange func(recovered bool)
 
+	// pending is the FIFO of queued packets awaiting inspection. Each
+	// entry still gets its own sim event at exactly the instant the old
+	// per-packet closure fired (so event order is untouched); the ring
+	// replaces the per-packet closure capture and carries batched-scan
+	// memo state.
+	pending pendingRing
+	// prescan is non-nil when the engine supports batched payload
+	// scanning; inspectFn is the shared event callback, bound once.
+	prescan   detect.Prescanning
+	inspectFn func()
+	// scratch reuses the payload-batch slice across scan cycles.
+	scratch [][]byte
+
+	// BatchScans counts batched scan cycles; BatchPackets counts packets
+	// whose payload scan rode a batch.
+	BatchScans   uint64
+	BatchPackets uint64
+
 	// Counters.
 	Processed uint64
 	Dropped   uint64
@@ -75,6 +93,7 @@ type Sensor struct {
 
 	// Telemetry instruments; nil (free no-ops) unless instrumented.
 	cPicked, cProcessed, cDropped *obs.Counter
+	cBatchScans, cBatchPkts       *obs.Counter
 	gQueue                        *obs.Gauge
 	hScanSim                      *obs.Histogram // modeled per-packet scan cost
 	hScanWall                     *obs.Histogram // real engine.Inspect time
@@ -84,6 +103,8 @@ type Sensor struct {
 func (s *Sensor) instrument(reg *obs.Registry, base string) {
 	s.cProcessed = reg.Counter(base + "processed")
 	s.cDropped = reg.Counter(base + "dropped")
+	s.cBatchScans = reg.Counter(base + "batch_scans")
+	s.cBatchPkts = reg.Counter(base + "batch_packets")
 	s.gQueue = reg.Gauge(base + "queue_depth")
 	s.hScanSim = reg.Histogram(base+"scan_cost_ns", obs.ClockSim)
 	s.hScanWall = reg.Histogram(base+"scan_wall_ns", obs.ClockWall)
@@ -91,11 +112,52 @@ func (s *Sensor) instrument(reg *obs.Registry, base string) {
 
 // NewSensor builds one sensor.
 func NewSensor(sim *simtime.Sim, id int, engine detect.Engine, queueLimit int, mode FailureMode, lethalRate int, restartAfter time.Duration) *Sensor {
-	return &Sensor{
+	s := &Sensor{
 		sim: sim, id: id, engine: engine,
 		queueLimit: queueLimit, failureMode: mode,
 		lethalRate: lethalRate, restartAfter: restartAfter,
 	}
+	s.prescan, _ = engine.(detect.Prescanning)
+	s.inspectFn = s.inspectNext
+	return s
+}
+
+// pendingEntry is one queued packet plus its batched-scan memo: once a
+// scan cycle has covered the entry, idx points at its match set in the
+// engine's prescan batch.
+type pendingEntry struct {
+	p       *packet.Packet
+	scanned bool
+	idx     int32
+}
+
+// pendingRing is a growable FIFO of pendingEntry (power-of-two ring).
+type pendingRing struct {
+	buf  []pendingEntry
+	head int
+	n    int
+}
+
+func (r *pendingRing) push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		grown := make([]pendingEntry, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = *r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	*r.at(r.n) = pendingEntry{p: p}
+	r.n++
+}
+
+func (r *pendingRing) at(i int) *pendingEntry {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *pendingRing) pop() {
+	*r.at(0) = pendingEntry{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
 }
 
 // ID returns the sensor's index.
@@ -152,30 +214,86 @@ func (s *Sensor) Offer(p *packet.Packet) {
 	s.gQueue.Set(int64(s.queueDepth))
 	s.BusyTime += cost
 	s.hScanSim.Observe(int64(cost))
-	done := s.busyUntil
-	s.sim.MustSchedule(done-now, func() {
-		s.queueDepth--
-		s.gQueue.Set(int64(s.queueDepth))
-		if s.state == SensorFailed {
-			return
-		}
-		s.Processed++
-		s.cProcessed.Inc()
-		// Wall-clock scan timing: real harness cost of the detection
-		// engine, as opposed to the modeled sim cost above. Reading the
-		// wall clock never touches the simulation, so determinism holds.
-		var t0 time.Time
-		if s.hScanWall != nil {
-			t0 = time.Now()
-		}
-		alerts := s.engine.Inspect(p, s.sim.Now())
-		if s.hScanWall != nil {
-			s.hScanWall.Observe(int64(time.Since(t0)))
-		}
-		if len(alerts) > 0 && s.deliver != nil {
-			s.deliver(alerts)
-		}
-	})
+	// One event per packet at exactly the packet's completion instant —
+	// same times, same scheduling order as the historical per-packet
+	// closure, so the simulation's (time, seq) event order is untouched.
+	// The ring supplies the packet at fire time.
+	s.pending.push(p)
+	s.sim.MustSchedule(s.busyUntil-now, s.inspectFn)
+}
+
+// inspectNext completes the head pending packet: the sensor's per-packet
+// completion event. When the engine supports prescanning and the head
+// has not been covered by a batch scan yet, the whole pending queue is
+// scanned as one interleaved batch first — the "scan cycle drains its
+// queue as a batch" hot path. Everything observable (counters, failure
+// handling, alert content and timing) is identical to per-packet
+// inspection: prescanning is pure, and the stateful inspection phase
+// still runs here, per packet, at this packet's own completion time.
+func (s *Sensor) inspectNext() {
+	ent := s.pending.at(0)
+	s.queueDepth--
+	s.gQueue.Set(int64(s.queueDepth))
+	if s.state == SensorFailed {
+		// A dead sensor inspects nothing; any memoized prescan result
+		// for this entry is simply discarded (the scan was pure).
+		s.pending.pop()
+		return
+	}
+	s.Processed++
+	s.cProcessed.Inc()
+	// Wall-clock scan timing: real harness cost of the detection
+	// engine, as opposed to the modeled sim cost above. Reading the
+	// wall clock never touches the simulation, so determinism holds.
+	// A batch's whole scan cost lands on the packet that triggered it.
+	var t0 time.Time
+	if s.hScanWall != nil {
+		t0 = time.Now()
+	}
+	if s.prescan != nil && !ent.scanned {
+		s.prescanPending()
+	}
+	var alerts []detect.Alert
+	if ent.scanned {
+		alerts = s.prescan.InspectPrescanned(ent.p, s.sim.Now(), int(ent.idx))
+	} else {
+		alerts = s.engine.Inspect(ent.p, s.sim.Now())
+	}
+	s.pending.pop()
+	if s.hScanWall != nil {
+		s.hScanWall.Observe(int64(time.Since(t0)))
+	}
+	if len(alerts) > 0 && s.deliver != nil {
+		s.deliver(alerts)
+	}
+}
+
+// prescanPending batch-scans every pending payload (head included) in
+// one interleaved automaton pass and memoizes per-entry match sets.
+// Invariant: a prescan only ever happens when no previously-scanned
+// entries remain (FIFO consumption), so overwriting the engine's batch
+// memo is safe.
+func (s *Sensor) prescanPending() {
+	s.scratch = s.scratch[:0]
+	for i := 0; i < s.pending.n; i++ {
+		s.scratch = append(s.scratch, s.pending.at(i).p.Payload)
+	}
+	ok := s.prescan.PrescanBatch(s.scratch)
+	for i := range s.scratch {
+		s.scratch[i] = nil
+	}
+	if !ok {
+		return
+	}
+	for i := 0; i < s.pending.n; i++ {
+		e := s.pending.at(i)
+		e.scanned = true
+		e.idx = int32(i)
+	}
+	s.BatchScans++
+	s.BatchPackets += uint64(s.pending.n)
+	s.cBatchScans.Inc()
+	s.cBatchPkts.Add(uint64(s.pending.n))
 }
 
 // noteDrop tracks the drop rate and triggers lethal-dose failure.
