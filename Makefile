@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchgate benchtrace benchobs ci eval sweep traces faultscenarios faultgolden campaign-smoke clean
+.PHONY: all build test race bench benchhot benchgate benchtrace benchobs benchsim ci eval sweep traces faultscenarios faultgolden campaign-smoke clean
 
 all: build test race
 
@@ -31,7 +31,11 @@ race:
 # interrupt/resume smoke of the campaign binary itself. The batched-scan
 # differential fuzz seeds run as regression tests alongside the trace
 # decoder's, and benchgate holds signature-scan throughput within 15% of
-# the committed BENCH_hotpath.json baseline.
+# the committed BENCH_hotpath.json baseline and sharded-kernel
+# events/sec within 15% of BENCH_sim.json. The shard coordinator's
+# barrier protocol runs explicitly under -race: every Sharded* test
+# (worker-pool windows, cross-domain links, the at-scale determinism
+# pins) with parallel executors exercising the mailbox handoff.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -40,6 +44,7 @@ ci:
 	$(GO) test -race -run 'ConcurrentRegistryUse|DisabledPathAllocFree' ./internal/obs/
 	$(GO) test -race -run 'TelemetryDeterminism|ReplayStdout|NoFaultDeterminism|FaultSweepReproducible' ./internal/eval/
 	$(GO) test -race -run 'CrashResume|ResumeAfterJournaledPanic|Cancellation|Watchdog|ReplayJournal' ./internal/campaign/
+	$(GO) test -race -count=1 -run 'Sharded|Fabric|CrossLink|Lookahead|LargeTopology' ./internal/simtime/ ./internal/netsim/ ./internal/eval/ ./internal/report/
 	$(MAKE) faultscenarios
 	$(MAKE) campaign-smoke
 	$(MAKE) benchgate
@@ -59,15 +64,40 @@ benchhot:
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_hotpath.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_hotpath.json"
 
-# Hot-path regression gate: rerun the benchhot suite into a scratch file
-# and fail if any MB/s benchmark dropped more than 15% against the
-# committed BENCH_hotpath.json. Regenerate the baseline with `make
-# benchhot` (and commit it) after an intentional perf change.
+# Throughput regression gate: rerun the benchhot and benchsim suites
+# into scratch files and fail if any gated benchmark (MB/s for the scan
+# hot path, events/sec for the sharded kernel) dropped more than 15%
+# against the committed baselines. On hosts with >= 4 CPUs the sim gate
+# additionally enforces the 4-shard/1-shard scaling floor; single-core
+# hosts report the ratio and skip. Regenerate baselines with `make
+# benchhot` / `make benchsim` (and commit them) after an intentional
+# perf change.
 benchgate:
 	$(GO) test -run=NONE -bench='$(HOTBENCH)' \
 		-benchmem -count=1 -json ./internal/detect/ ./internal/traffic/ > /tmp/BENCH_hotpath.current.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_hotpath.json \
 		-current /tmp/BENCH_hotpath.current.json -max-drop-pct 15
+	$(GO) test -run=NONE -bench='$(SIMBENCH)' \
+		-benchmem -count=1 -json ./internal/eval/ > /tmp/BENCH_sim.current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_sim.json \
+		-current /tmp/BENCH_sim.current.json -max-drop-pct 15 \
+		-speedup-num BenchmarkShardedScaleShards4 \
+		-speedup-den BenchmarkShardedScaleShards1 -min-speedup 2.5
+
+# Sharded-kernel throughput benchmarks: the >= 10k-host LargeConfig run
+# at 1, 2, 4, and 8 executor goroutines, captured as JSON. The committed
+# BENCH_sim.json doubles as the benchgate baseline; a trailing note
+# records the measuring host's CPU count, because parallel speedup is
+# physically bounded by cores (benchgate arms its scaling floor only on
+# >= 4-CPU hosts).
+SIMBENCH := ShardedScaleShards
+
+benchsim:
+	$(GO) test -run=NONE -bench='$(SIMBENCH)' \
+		-benchmem -count=1 -json ./internal/eval/ > BENCH_sim.json
+	@echo '{"Action":"output","Package":"benchsim-host","Output":"# host-cpus: '"$$(nproc)"'"}' >> BENCH_sim.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_sim.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
+	@echo "wrote BENCH_sim.json (host cpus: $$(nproc))"
 
 # Trace codec benchmarks (IDT2 encode/decode throughput, allocation
 # counts, and the replay live-heap comparison), captured as JSON so

@@ -4,10 +4,20 @@
 // -json` stream format both files are captured in, so the gate needs no
 // extra tooling beyond the repository's own benchmark targets.
 //
-// Only MB/s benchmarks gate (the scan hot path's unit); ns/op-only
-// benchmarks such as matcher construction are reported for the record
-// but do not fail the build — construction cost is amortized by the
-// process-wide matcher cache and is inherently noisier.
+// Benchmarks reporting a throughput unit gate: MB/s (the scan hot path)
+// and events/sec (the sharded simulation kernel, captured in
+// BENCH_sim.json). ns/op-only benchmarks such as matcher construction
+// are reported for the record but do not fail the build — construction
+// cost is amortized by the process-wide matcher cache and is inherently
+// noisier.
+//
+// With -speedup-num/-speedup-den/-min-speedup the gate additionally
+// checks parallel scaling: the events/sec ratio between two benchmarks
+// in the CURRENT run (e.g. BenchmarkShardedScaleShards4 over
+// BenchmarkShardedScaleShards1) must reach the floor. The check arms
+// only on hosts with at least 4 CPUs — on smaller machines parallel
+// executors cannot beat the serial path, so the ratio is reported and
+// skipped rather than failed.
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -24,6 +35,7 @@ import (
 type benchResult struct {
 	name string
 	mbps float64 // 0 if the benchmark reports no MB/s
+	eps  float64 // events/sec custom metric; 0 if absent
 	nsOp float64
 }
 
@@ -84,6 +96,8 @@ func parseBenchFile(path string) (map[string]benchResult, error) {
 					r.nsOp = v
 				case "MB/s":
 					r.mbps = v
+				case "events/sec":
+					r.eps = v
 				}
 			}
 			out[r.name] = r
@@ -95,7 +109,10 @@ func parseBenchFile(path string) (map[string]benchResult, error) {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed baseline benchmark JSON")
 	currentPath := flag.String("current", "", "fresh benchmark JSON to gate")
-	maxDrop := flag.Float64("max-drop-pct", 15, "maximum allowed MB/s drop, percent")
+	maxDrop := flag.Float64("max-drop-pct", 15, "maximum allowed throughput (MB/s or events/sec) drop, percent")
+	speedupNum := flag.String("speedup-num", "", "benchmark whose events/sec forms the speedup numerator (current run)")
+	speedupDen := flag.String("speedup-den", "", "benchmark whose events/sec forms the speedup denominator (current run)")
+	minSpeedup := flag.Float64("min-speedup", 2.5, "minimum numerator/denominator events/sec ratio; armed only with >= 4 CPUs")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -136,21 +153,59 @@ func main() {
 			failed = true
 			continue
 		}
-		if b.mbps <= 0 {
+		baseThru, curThru, unit := b.mbps, c.mbps, "MB/s"
+		if b.mbps <= 0 && b.eps > 0 {
+			baseThru, curThru, unit = b.eps, c.eps, "events/sec"
+		}
+		if baseThru <= 0 {
 			fmt.Printf("info     %-34s %10.0f ns/op (baseline %.0f) — not gated\n", name, c.nsOp, b.nsOp)
 			continue
 		}
-		dropPct := (b.mbps - c.mbps) / b.mbps * 100
+		dropPct := (baseThru - curThru) / baseThru * 100
 		status := "ok"
 		if dropPct > *maxDrop {
 			status = "REGRESSED"
 			failed = true
 		}
-		fmt.Printf("%-8s %-34s %8.2f -> %8.2f MB/s (%+.1f%%)\n", status, name, b.mbps, c.mbps, -dropPct)
+		fmt.Printf("%-8s %-34s %12.2f -> %12.2f %s (%+.1f%%)\n", status, name, baseThru, curThru, unit, -dropPct)
+	}
+	if *speedupNum != "" || *speedupDen != "" {
+		if !checkSpeedup(cur, *speedupNum, *speedupDen, *minSpeedup) {
+			failed = true
+		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: hot-path throughput regressed more than %.0f%% (or benchmarks went missing) vs %s\n", *maxDrop, *baselinePath)
+		fmt.Fprintf(os.Stderr, "benchgate: throughput regressed more than %.0f%% (or benchmarks went missing) vs %s\n", *maxDrop, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: all gated benchmarks within %.0f%% of baseline\n", *maxDrop)
+}
+
+// checkSpeedup enforces the parallel-scaling floor: num's events/sec in
+// the current run must be at least minRatio times den's. On hosts with
+// fewer than 4 CPUs the executors cannot physically run in parallel, so
+// the ratio is informational and never fails the gate.
+func checkSpeedup(cur map[string]benchResult, numName, denName string, minRatio float64) bool {
+	if numName == "" || denName == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -speedup-num and -speedup-den must be given together")
+		return false
+	}
+	num, okN := cur[numName]
+	den, okD := cur[denName]
+	if !okN || !okD || num.eps <= 0 || den.eps <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: speedup check needs events/sec for both %s and %s in the current run\n", numName, denName)
+		return false
+	}
+	ratio := num.eps / den.eps
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("speedup  %s / %s = %.2fx — skipped (host has %d CPU(s); check needs >= 4)\n",
+			numName, denName, ratio, runtime.NumCPU())
+		return true
+	}
+	if ratio < minRatio {
+		fmt.Printf("SLOW     %s / %s = %.2fx, below the %.2fx floor\n", numName, denName, ratio, minRatio)
+		return false
+	}
+	fmt.Printf("speedup  %s / %s = %.2fx (floor %.2fx)\n", numName, denName, ratio, minRatio)
+	return true
 }

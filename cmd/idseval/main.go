@@ -8,6 +8,14 @@
 //
 //	idseval [-quick] [-seed N] [-workers N] [-class logistical|architectural|performance|all]
 //	        [-posture realtime|distributed|uniform] [-product NAME] [-tables] [-timeout 10m]
+//	idseval -shards N [-scale-segments N] [-scale-hosts N] [-scale-duration D] [-product NAME]
+//
+// With -shards the tool runs the at-scale sharded simulation instead of
+// the scorecard matrix: one large segmented topology partitioned across
+// conservative parallel event domains, N executor goroutines. Stdout is
+// byte-identical for every -shards value at the same seed (the report
+// carries only deterministic fields); wall-clock throughput goes to
+// stderr.
 //
 // Evaluations fan out across every core by default; -workers 1 forces
 // the serial path. Either way the output is bit-identical for a given
@@ -18,10 +26,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -41,6 +51,10 @@ func main() {
 	posture := flag.String("posture", "realtime", "weighting posture: realtime, distributed, uniform")
 	product := flag.String("product", "", "evaluate only the named product")
 	tables := flag.Bool("tables", false, "print the Table 1-3 metric definitions and exit")
+	shards := flag.Int("shards", 0, "run the sharded at-scale simulation with this many executor goroutines (0 = classic scorecard evaluation)")
+	scaleSegments := flag.Int("scale-segments", 8, "sharded run: leaf-switch segments (one event domain each)")
+	scaleHosts := flag.Int("scale-hosts", 40, "sharded run: hosts per segment")
+	scaleDuration := flag.Duration("scale-duration", 0, "sharded run: scored detection phase length (default 5s)")
 	telemetry := flag.Bool("telemetry", false, "collect telemetry and dump it (Prometheus text) to stderr; stdout is unaffected")
 	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file (implies collection)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,6 +92,21 @@ func main() {
 			fatal(fmt.Errorf("unknown product %q", *product))
 		}
 		field = []products.Spec{spec}
+	}
+
+	if *shards > 0 {
+		collect := *telemetry || *telemetryJSONL != ""
+		if err := runShardedScale(ctx, out, field, shardedOpts{
+			seed: *seed, shards: *shards, segments: *scaleSegments,
+			hosts: *scaleHosts, duration: *scaleDuration,
+			telemetry: collect, prom: *telemetry, jsonl: *telemetryJSONL,
+		}); err != nil {
+			fatal(err)
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Fprintf(out, "Evaluating %d product(s) against the %d-metric standard (seed %d, quick=%v)\n\n",
@@ -218,6 +247,61 @@ func dumpTelemetry(evs []*eval.ProductEvaluation, prom bool, jsonlPath string) e
 	}
 	if jsonlPath != "" {
 		return merged.WriteJSONLFile(jsonlPath)
+	}
+	return nil
+}
+
+// shardedOpts bundles the -shards path's flag values.
+type shardedOpts struct {
+	seed            int64
+	shards          int
+	segments, hosts int
+	duration        time.Duration
+	telemetry, prom bool
+	jsonl           string
+}
+
+// runShardedScale drives the at-scale sharded simulation for each
+// product in the field. Stdout carries only the deterministic report —
+// byte-identical across -shards values — while wall-clock throughput
+// and telemetry go to stderr.
+func runShardedScale(ctx context.Context, out *os.File, field []products.Spec, o shardedOpts) error {
+	fmt.Fprintf(out, "Sharded at-scale evaluation: %d product(s), %d segments x %d hosts (seed %d)\n\n",
+		len(field), o.segments, o.hosts, o.seed)
+	merged := &obs.Snapshot{}
+	for _, spec := range field {
+		cfg := eval.ShardedScaleConfig{
+			Seed:            o.seed,
+			Segments:        o.segments,
+			HostsPerSegment: o.hosts,
+			Shards:          o.shards,
+			Duration:        o.duration,
+		}
+		if o.telemetry {
+			cfg.Obs = obs.NewRegistry()
+		}
+		res, err := eval.RunShardedScale(ctx, spec, cfg)
+		if err != nil {
+			return err
+		}
+		if err := report.ShardedScaleReport(out, res); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(os.Stderr, "%s: %d events in %.2fs wall = %.0f events/sec (%d shards)\n",
+			spec.Name, res.Events, res.WallSeconds, res.EventsPerSec, o.shards)
+		if cfg.Obs != nil {
+			merged.Merge(cfg.Obs.Snapshot().Prefixed(spec.Name + "."))
+		}
+	}
+	if o.prom {
+		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
+		if err := merged.WritePrometheus(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if o.jsonl != "" {
+		return merged.WriteJSONLFile(o.jsonl)
 	}
 	return nil
 }

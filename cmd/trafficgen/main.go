@@ -13,7 +13,14 @@
 //	trafficgen -o trace.idtr [-profile ecommerce|cluster] [-seconds 60]
 //	           [-pps 600] [-seed 21] [-attacks] [-strength 1.0]
 //	           [-random-payloads] [-json] [-hosts 6] [-external 3]
-//	           [-timeout 5m]
+//	           [-segments 0] [-timeout 5m]
+//
+// With -segments N the trace models the sharded large topology: N
+// per-segment background generators (each with its own RNG stream and
+// its own 10.(s+1).x.y /16 host block, -hosts hosts per segment) share
+// one virtual clock, sequence space, and output trace, and the attack
+// campaign spreads across the union of segments. Aggregate -pps is
+// split evenly across segments.
 //
 // File output is atomic: the trace streams into a temp file in the
 // output directory and is renamed into place only after the footer is
@@ -30,6 +37,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cli"
 	"repro/internal/fsio"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/simtime"
@@ -47,8 +55,9 @@ func main() {
 	strength := flag.Float64("strength", 1.0, "attack intensity multiplier")
 	randomPayloads := flag.Bool("random-payloads", false, "replace payloads with random bytes (Lesson-1 ablation)")
 	asJSON := flag.Bool("json", false, "write JSON lines instead of binary")
-	hosts := flag.Int("hosts", 6, "cluster host count")
+	hosts := flag.Int("hosts", 6, "cluster host count (per segment with -segments)")
 	external := flag.Int("external", 3, "external host count")
+	segments := flag.Int("segments", 0, "per-segment generators over the large-topology address plan (0 = single flat cluster)")
 	telemetry := flag.Bool("telemetry", false, "dump generation telemetry (Prometheus text) to stderr")
 	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
 	timeout := flag.Duration("timeout", 0, "abort generation after this wall-clock duration (0 = none)")
@@ -118,25 +127,55 @@ func main() {
 		emit = srec.Emit
 	}
 
-	seq := &packet.SeqCounter{}
-	eps := traffic.Endpoints{}
-	for i := 0; i < *hosts; i++ {
-		eps.Cluster = append(eps.Cluster, clusterAddr(i))
+	if *segments < 0 || *segments > 254 {
+		fatal(fmt.Errorf("-segments %d out of range [0, 254]", *segments))
 	}
+	seq := &packet.SeqCounter{}
+	eps := traffic.Endpoints{} // union of all segments; the attack campaign draws from it
 	for i := 0; i < *external; i++ {
 		eps.External = append(eps.External, externalAddr(i))
 	}
-	gen, err := traffic.NewGenerator(sim, profile, eps, seq, emit)
-	if err != nil {
-		fatal(err)
-	}
-	if err := gen.Start(gen.SessionRateForPps(*pps)); err != nil {
-		fatal(err)
+	var gens []*traffic.Generator
+	if *segments > 0 {
+		// One generator per leaf segment. The profile-name suffix gives
+		// each its own deterministic RNG stream, so the per-segment
+		// traffic mix is independent even though all segments share one
+		// clock, sequence space, and trace.
+		for s := 0; s < *segments; s++ {
+			seg := profile
+			seg.Name = fmt.Sprintf("%s/seg%03d", profile.Name, s)
+			segEps := traffic.Endpoints{External: eps.External}
+			for h := 0; h < *hosts; h++ {
+				addr := netsim.LargeAddr(s, h)
+				segEps.Cluster = append(segEps.Cluster, addr)
+				eps.Cluster = append(eps.Cluster, addr)
+			}
+			gen, err := traffic.NewGenerator(sim, seg, segEps, seq, emit)
+			if err != nil {
+				fatal(err)
+			}
+			if err := gen.Start(gen.SessionRateForPps(*pps / float64(*segments))); err != nil {
+				fatal(err)
+			}
+			gens = append(gens, gen)
+		}
+	} else {
+		for i := 0; i < *hosts; i++ {
+			eps.Cluster = append(eps.Cluster, clusterAddr(i))
+		}
+		gen, err := traffic.NewGenerator(sim, profile, eps, seq, emit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gen.Start(gen.SessionRateForPps(*pps)); err != nil {
+			fatal(err)
+		}
+		gens = append(gens, gen)
 	}
 	dur := time.Duration(*seconds * float64(time.Second))
 	var camp *attack.Campaign
 	if *withAttacks {
-		ctx := &attack.Context{Sim: sim, Rng: sim.Stream("attack"), Seq: seq, Emit: emit, Eps: eps, Gen: gen}
+		ctx := &attack.Context{Sim: sim, Rng: sim.Stream("attack"), Seq: seq, Emit: emit, Eps: eps, Gen: gens[0]}
 		camp = attack.NewCampaign(ctx)
 		if err := camp.SpreadAcross(dur/10, dur*8/10, attack.StandardScenarios(attack.Intensity(*strength))); err != nil {
 			fatal(err)
@@ -144,7 +183,9 @@ func main() {
 	}
 	sp := reg.StartSpan("trafficgen.generate")
 	sim.RunUntil(dur)
-	gen.Stop()
+	for _, g := range gens {
+		g.Stop()
+	}
 	sim.Run()
 	sp.End()
 	if err := sim.Interrupted(); err != nil {

@@ -122,6 +122,12 @@ func NewSensor(sim *simtime.Sim, id int, engine detect.Engine, queueLimit int, m
 	return s
 }
 
+// SetDeliver installs the alert path for a standalone sensor — one built
+// outside an IDS assembly (ids.New wires its own). The sharded testbed
+// uses this to route each segment sensor's alerts straight to its
+// domain-local analyzer.
+func (s *Sensor) SetDeliver(fn func(alerts []detect.Alert)) { s.deliver = fn }
+
 // pendingEntry is one queued packet plus its batched-scan memo: once a
 // scan cycle has covered the entry, idx points at its match set in the
 // engine's prescan batch.

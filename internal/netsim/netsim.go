@@ -52,6 +52,20 @@ type linkDir struct {
 	queued    int // bytes committed to the queue but not yet serialized
 	stats     LinkStats
 
+	// sim is the event domain that drives this direction: the SENDER's
+	// domain, since Send and the serialization/arrival bookkeeping all
+	// run in the sender's context. On an ordinary link both directions
+	// share the link's sim; on a cross-domain link (Fabric.Link) each
+	// direction is owned by the domain of the endpoint that transmits
+	// into it, so all mutable state here stays single-threaded.
+	sim *simtime.Sim
+	// post, when non-nil, marks this a cross-domain direction: delivery
+	// to the far endpoint is handed to the coordinator (ShardedSim.Post)
+	// at Send time — the arrival is >= now + Propagation >= now +
+	// lookahead, exactly the conservative contract — while the local
+	// completion event keeps doing the sender-side queue bookkeeping.
+	post func(at simtime.Time, fn func())
+
 	inflight []transmission
 	head     int
 	armed    bool
@@ -89,6 +103,11 @@ type Link struct {
 	BufferBytes int
 	name        string
 	a, b        *linkDir
+	// cross marks a link whose endpoints live in different event domains
+	// (see Fabric). Cross links reject fault injection: the impairment
+	// state is shared by both directions, which would race across
+	// domains, and the fault harness targets intra-segment gear anyway.
+	cross bool
 
 	// imp is fault-injection state; nil on the un-faulted path, so an
 	// unimpaired link pays one pointer check per Send.
@@ -153,6 +172,9 @@ func (l *Link) InjectedDrops() uint64 {
 }
 
 func (l *Link) ensureImpairment() *linkImpairment {
+	if l.cross {
+		panic(fmt.Sprintf("netsim: link %q crosses event domains; fault injection on cross-domain links is unsupported (impairment state would be shared across domains)", l.name))
+	}
 	if l.imp == nil {
 		l.imp = &linkImpairment{}
 	}
@@ -188,8 +210,8 @@ func NewLink(sim *simtime.Sim, a, b Endpoint, cfg LinkConfig) *Link {
 		Propagation:  cfg.Propagation,
 		BufferBytes:  cfg.BufferBytes,
 		name:         cfg.Name,
-		a:            &linkDir{to: a},
-		b:            &linkDir{to: b},
+		a:            &linkDir{to: a, sim: sim},
+		b:            &linkDir{to: b, sim: sim},
 	}
 	l.a.deliver = l.deliverFunc(l.a)
 	l.b.deliver = l.deliverFunc(l.b)
@@ -199,6 +221,9 @@ func NewLink(sim *simtime.Sim, a, b Endpoint, cfg LinkConfig) *Link {
 // deliverFunc builds the one delivery handler a direction reuses for
 // every packet: deliver the queue head, then re-arm for the next
 // in-flight packet (arrivals are FIFO because busyUntil is monotone).
+// On a cross-domain direction this event is sender-side bookkeeping
+// only — the far endpoint's Receive was posted to the coordinator at
+// Send time and executes in the destination domain.
 func (l *Link) deliverFunc(dir *linkDir) func() {
 	return func() {
 		tx := dir.pop()
@@ -209,11 +234,11 @@ func (l *Link) deliverFunc(dir *linkDir) func() {
 		dir.cBytes.Add(uint64(tx.size))
 		dir.gQueued.Set(int64(dir.queued))
 		if dir.head < len(dir.inflight) {
-			l.sim.MustSchedule(dir.inflight[dir.head].arrival-l.sim.Now(), dir.deliver)
+			dir.sim.MustSchedule(dir.inflight[dir.head].arrival-dir.sim.Now(), dir.deliver)
 		} else {
 			dir.armed = false
 		}
-		if dir.to != nil {
+		if dir.post == nil && dir.to != nil {
 			dir.to.Receive(tx.p, l)
 		}
 	}
@@ -287,7 +312,7 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 	}
 	dir.queued += size
 	dir.gQueued.Set(int64(dir.queued))
-	now := l.sim.Now()
+	now := dir.sim.Now()
 	start := now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
@@ -298,7 +323,15 @@ func (l *Link) Send(from Endpoint, p *packet.Packet) bool {
 	dir.inflight = append(dir.inflight, transmission{p: p, size: size, arrival: arrival})
 	if !dir.armed {
 		dir.armed = true
-		l.sim.MustSchedule(arrival-now, dir.deliver)
+		dir.sim.MustSchedule(arrival-now, dir.deliver)
+	}
+	if dir.post != nil {
+		// Hand the far-side delivery to the coordinator now, while the
+		// arrival (>= now + Propagation >= now + lookahead) still clears
+		// the conservative window. The packet is not mutated after this
+		// point on the sending side.
+		to, pkt := dir.to, p
+		dir.post(arrival, func() { to.Receive(pkt, l) })
 	}
 	return true
 }

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/products"
+)
+
+// TestShardedReportByteIdenticalAcrossShards is the CI pin for the
+// parallel-simulation contract: the full rendered idseval report for a
+// sharded scale run is byte-identical between -shards 1 and -shards N
+// for N in {2, 4, 8} at the same seed.
+func TestShardedReportByteIdenticalAcrossShards(t *testing.T) {
+	spec, ok := products.Find("TrueSecure")
+	if !ok {
+		t.Fatal("TrueSecure spec missing")
+	}
+	render := func(shards int) string {
+		res, err := eval.RunShardedScale(context.Background(), spec, eval.ShardedScaleConfig{
+			Seed:            777,
+			Segments:        4,
+			HostsPerSegment: 6,
+			ExternalHosts:   2,
+			Shards:          shards,
+			Duration:        250 * time.Millisecond,
+			BackgroundPps:   900,
+			AttackEvery:     30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ShardedScaleReport(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(1)
+	if want == "" {
+		t.Fatal("empty report")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		if got := render(shards); got != want {
+			t.Errorf("report with -shards %d diverged from -shards 1:\n--- 1 ---\n%s--- %d ---\n%s", shards, want, shards, got)
+		}
+	}
+}

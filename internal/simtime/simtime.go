@@ -3,14 +3,17 @@
 // an event heap ordered by (time, sequence), and named deterministic random
 // streams.
 //
-// The kernel is deliberately single-threaded. Determinism is a design goal
+// Each Sim is deliberately single-threaded. Determinism is a design goal
 // of the evaluation methodology this repository reproduces — the paper's
 // scorecard requires "observable, reproducible, quantifiable" metrics, and
 // a virtual-time simulation with seedable RNG streams makes every
 // experiment exactly repeatable. Parallelism in the modeled systems (for
 // example multiple IDS sensors) is expressed as capacity inside the model;
 // parallelism in the measurement harness happens across independent
-// simulations, each owning its own Sim.
+// simulations, each owning its own Sim — and, for one large topology,
+// across the fixed event domains of a ShardedSim (see sharded.go), which
+// advances many Sims in lockstep conservative lookahead windows while
+// keeping results byte-identical for any executor count.
 package simtime
 
 import (
@@ -135,6 +138,9 @@ type Sim struct {
 	now     Time
 	seq     uint64
 	pending eventHeap
+	// live counts scheduled-but-not-cancelled events, maintained on
+	// schedule/cancel/execute so Pending is O(1) instead of a heap scan.
+	live int
 	// free recycles executed/cancelled event structs for reuse by
 	// ScheduleAt; its size is bounded by the peak pending-event count.
 	free    []*event
@@ -176,15 +182,27 @@ func (s *Sim) Seed() int64 { return s.seed }
 // Processed returns the number of events executed so far.
 func (s *Sim) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events currently scheduled.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.pending {
-		if !e.dead {
-			n++
+// Pending returns the number of events currently scheduled. It is O(1):
+// a live-event counter is maintained on schedule/cancel/execute, so
+// progress heartbeats and stall watchdogs can poll it on large heaps
+// without paying a linear scan.
+func (s *Sim) Pending() int { return s.live }
+
+// NextEventTime returns the virtual time of the earliest live pending
+// event. Cancelled events at the head of the heap are retired in
+// passing (they are observably gone already), so the returned time is
+// exact, not a stale lower bound. ok is false when nothing is pending.
+func (s *Sim) NextEventTime() (at Time, ok bool) {
+	for len(s.pending) > 0 {
+		head := s.pending[0]
+		if head.dead {
+			s.pending.popMin()
+			s.release(head)
+			continue
 		}
+		return head.at, true
 	}
-	return n
+	return 0, false
 }
 
 // ErrPastTime is returned by ScheduleAt when the requested time is before
@@ -231,6 +249,7 @@ func (s *Sim) ScheduleAt(at Time, fn Handler) (EventID, error) {
 		e = &event{at: at, seq: s.seq, fn: fn}
 	}
 	s.pending.push(e)
+	s.live++
 	return EventID{e: e, gen: e.gen}, nil
 }
 
@@ -251,6 +270,7 @@ func (s *Sim) Cancel(id EventID) bool {
 		return false
 	}
 	e.dead = true
+	s.live--
 	return true
 }
 
@@ -265,6 +285,7 @@ func (s *Sim) Step() bool {
 		}
 		s.now = e.at
 		s.processed++
+		s.live--
 		fn := e.fn
 		s.release(e)
 		fn()
@@ -296,7 +317,12 @@ func (s *Sim) RunUntil(deadline Time) uint64 {
 
 	var n uint64
 	for len(s.pending) > 0 && !s.stopped {
-		if s.interrupt != nil && s.processed%interruptStride == 0 {
+		// The stride counts events executed during THIS call (not the
+		// lifetime total), so the first check fires on entry and every
+		// call's cancellation latency is bounded by one stride — a
+		// windowed RunUntil resumed mid-stride can never inherit a
+		// nearly-elapsed stride from the previous window.
+		if s.interrupt != nil && n%interruptStride == 0 {
 			if err := s.interrupt(); err != nil {
 				s.intErr = err
 				break
@@ -314,6 +340,7 @@ func (s *Sim) RunUntil(deadline Time) uint64 {
 		s.pending.popMin()
 		s.now = next.at
 		s.processed++
+		s.live--
 		fn := next.fn
 		s.release(next)
 		fn()
