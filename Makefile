@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchgate benchtrace benchobs benchsim ci eval sweep traces faultscenarios faultgolden campaign-smoke clean
+.PHONY: all build test race bench benchhot benchgate benchtrace benchobs benchsim ci eval sweep traces faultscenarios faultgolden campaign-smoke live-smoke tracereport clean
 
 all: build test race
 
@@ -28,11 +28,15 @@ race:
 # runner's crash-safety contracts: resume is byte-identical, panics are
 # isolated and journaled, cancellation drains cleanly, and the stall
 # watchdog fires (all under -race), finishing with an end-to-end
-# interrupt/resume smoke of the campaign binary itself. The batched-scan
-# differential fuzz seeds run as regression tests alongside the trace
-# decoder's, and benchgate holds signature-scan throughput within 15% of
-# the committed BENCH_hotpath.json baseline and sharded-kernel
-# events/sec within 15% of BENCH_sim.json. The shard coordinator's
+# interrupt/resume smoke of the campaign binary itself plus the live
+# observability smoke (cmd/livesmoke): campaign run -listen, /metrics
+# and /progress scraped mid-run, graceful SIGINT, clean resume. The
+# batched-scan differential fuzz seeds run as regression tests alongside
+# the trace decoder's, and benchgate holds signature-scan throughput
+# within 15% of the committed BENCH_hotpath.json baseline, sharded-
+# kernel events/sec within 15% of BENCH_sim.json, and the telemetry
+# disabled path within the BENCH_obs.json ns/op bound at exactly zero
+# allocations. The shard coordinator's
 # barrier protocol runs explicitly under -race: every Sharded* test
 # (worker-pool windows, cross-domain links, the at-scale determinism
 # pins) with parallel executors exercising the mailbox handoff.
@@ -47,6 +51,7 @@ ci:
 	$(GO) test -race -count=1 -run 'Sharded|Fabric|CrossLink|Lookahead|LargeTopology' ./internal/simtime/ ./internal/netsim/ ./internal/eval/ ./internal/report/
 	$(MAKE) faultscenarios
 	$(MAKE) campaign-smoke
+	$(MAKE) live-smoke
 	$(MAKE) benchgate
 
 # Regenerate every table and figure of the paper.
@@ -83,6 +88,12 @@ benchgate:
 		-current /tmp/BENCH_sim.current.json -max-drop-pct 15 \
 		-speedup-num BenchmarkShardedScaleShards4 \
 		-speedup-den BenchmarkShardedScaleShards1 -min-speedup 2.5
+	$(GO) test -run=NONE -bench='$(OBSBENCH)' \
+		-benchmem -count=1 -json ./internal/obs/ > /tmp/BENCH_obs.current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json \
+		-current /tmp/BENCH_obs.current.json \
+		-gate-ns Disabled -max-ns-grow-pct 100 -ns-slack-ns 2 \
+		-require-zero-allocs Disabled
 
 # Sharded-kernel throughput benchmarks: the >= 10k-host LargeConfig run
 # at 1, 2, 4, and 8 executor goroutines, captured as JSON. The committed
@@ -110,10 +121,14 @@ benchtrace:
 
 # Telemetry-overhead benchmarks: the disabled (nil-instrument) path must
 # stay at a few ns/op with zero allocations — the contract that lets
-# instrumentation live permanently in simulation hot paths. Captured as
-# JSON so successive runs can be diffed across commits.
+# instrumentation live permanently in simulation hot paths. The
+# committed BENCH_obs.json doubles as the benchgate baseline: the
+# *Disabled benchmarks gate on ns/op growth (with absolute slack, since
+# the path is sub-nanosecond) and must report exactly 0 allocs/op.
+OBSBENCH := CounterInc|GaugeUpdate|HistogramObserve|Span|Snapshot|Flight
+
 benchobs:
-	$(GO) test -run=NONE -bench='CounterInc|GaugeUpdate|HistogramObserve|Span|Snapshot' \
+	$(GO) test -run=NONE -bench='$(OBSBENCH)' \
 		-benchmem -count=1 -json ./internal/obs/ > BENCH_obs.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | sed 's/"Output":"//;s/\\t/\t/g;s/\\n//' || true
 	@echo "wrote BENCH_obs.json"
@@ -166,13 +181,37 @@ campaign-smoke:
 	$(GO) run ./cmd/campaign status -dir $(CAMPAIGN_DIR)
 	rm -rf $(CAMPAIGN_DIR)
 
+LIVESMOKE_DIR := /tmp/repro-live-smoke
+
+# Live observability-plane smoke: cmd/livesmoke plans a campaign, runs
+# it with -listen 127.0.0.1:0, scrapes /healthz, /metrics, and
+# /progress mid-run, interrupts with SIGINT, and requires a graceful
+# exit plus a clean resume to full completion.
+live-smoke:
+	rm -rf $(LIVESMOKE_DIR)
+	mkdir -p $(LIVESMOKE_DIR)
+	$(GO) build -o $(LIVESMOKE_DIR)/campaign.bin ./cmd/campaign
+	$(GO) run ./cmd/livesmoke -bin $(LIVESMOKE_DIR)/campaign.bin \
+		-dir $(LIVESMOKE_DIR)/campaign.d
+	rm -rf $(LIVESMOKE_DIR)
+
+# Capture a flight-recorder timeline of the sharded at-scale run as
+# Chrome trace_event JSON. Open trace_sharded.json in Perfetto
+# (https://ui.perfetto.dev) to see per-domain window spans, barrier
+# waits, and harness marks on the sim timeline.
+tracereport:
+	$(GO) run ./cmd/idseval -shards 4 -scale-segments 4 -scale-hosts 8 \
+		-scale-duration 1s -product TrueSecure -trace-out trace_sharded.json
+	@echo "wrote trace_sharded.json — open in https://ui.perfetto.dev"
+
 # Canned-trace workflow (Lesson 2).
 traces:
 	$(GO) run ./cmd/trafficgen -o /tmp/eval.idtr -seconds 60 -pps 600
 	$(GO) run ./cmd/replay -trace /tmp/eval.idtr -product TrueSecure
 
-# BENCH_hotpath.json is NOT cleaned: it is the committed benchgate
-# baseline, regenerated deliberately via `make benchhot`.
+# BENCH_hotpath.json, BENCH_sim.json, and BENCH_obs.json are NOT
+# cleaned: they are the committed benchgate baselines, regenerated
+# deliberately via `make benchhot` / `make benchsim` / `make benchobs`.
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_trace.json BENCH_obs.json
+	rm -f test_output.txt bench_output.txt BENCH_trace.json trace_sharded.json

@@ -11,6 +11,15 @@
 // cost is amortized by the process-wide matcher cache and is inherently
 // noisier.
 //
+// With -gate-ns REGEX, matching ns/op-only benchmarks DO gate: current
+// ns/op must stay within baseline*(1+max-ns-grow-pct/100)+ns-slack-ns.
+// The absolute slack term exists because the telemetry disabled path
+// (BENCH_obs.json) sits at fractions of a nanosecond, where a pure
+// percentage bound is all noise. -require-zero-allocs REGEX separately
+// asserts that every matching benchmark in the CURRENT run reports
+// exactly 0 allocs/op — the contract that lets nil-receiver
+// instrumentation live permanently in simulation hot paths.
+//
 // With -speedup-num/-speedup-den/-min-speedup the gate additionally
 // checks parallel scaling: the events/sec ratio between two benchmarks
 // in the CURRENT run (e.g. BenchmarkShardedScaleShards4 over
@@ -28,15 +37,18 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 type benchResult struct {
-	name string
-	mbps float64 // 0 if the benchmark reports no MB/s
-	eps  float64 // events/sec custom metric; 0 if absent
-	nsOp float64
+	name      string
+	mbps      float64 // 0 if the benchmark reports no MB/s
+	eps       float64 // events/sec custom metric; 0 if absent
+	nsOp      float64
+	allocs    float64 // allocs/op; meaningful only when hasAllocs
+	hasAllocs bool    // run captured with -benchmem
 }
 
 // cpuSuffix strips the -N GOMAXPROCS suffix so baselines survive a CPU
@@ -98,6 +110,9 @@ func parseBenchFile(path string) (map[string]benchResult, error) {
 					r.mbps = v
 				case "events/sec":
 					r.eps = v
+				case "allocs/op":
+					r.allocs = v
+					r.hasAllocs = true
 				}
 			}
 			out[r.name] = r
@@ -113,6 +128,10 @@ func main() {
 	speedupNum := flag.String("speedup-num", "", "benchmark whose events/sec forms the speedup numerator (current run)")
 	speedupDen := flag.String("speedup-den", "", "benchmark whose events/sec forms the speedup denominator (current run)")
 	minSpeedup := flag.Float64("min-speedup", 2.5, "minimum numerator/denominator events/sec ratio; armed only with >= 4 CPUs")
+	gateNs := flag.String("gate-ns", "", "regexp of ns/op-only benchmarks to gate on latency growth")
+	maxNsGrow := flag.Float64("max-ns-grow-pct", 100, "maximum allowed ns/op growth for -gate-ns benchmarks, percent")
+	nsSlack := flag.Float64("ns-slack-ns", 2, "absolute ns/op slack added to the -gate-ns bound (sub-ns baselines are noise-dominated)")
+	zeroAllocs := flag.String("require-zero-allocs", "", "regexp of benchmarks that must report 0 allocs/op in the current run")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -132,6 +151,14 @@ func main() {
 	if len(base) == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks in baseline %s\n", *baselinePath)
 		os.Exit(2)
+	}
+	var gateNsRe *regexp.Regexp
+	if *gateNs != "" {
+		gateNsRe, err = regexp.Compile(*gateNs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: -gate-ns: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	failed := false
@@ -158,6 +185,16 @@ func main() {
 			baseThru, curThru, unit = b.eps, c.eps, "events/sec"
 		}
 		if baseThru <= 0 {
+			if gateNsRe != nil && gateNsRe.MatchString(name) && b.nsOp > 0 {
+				limit := b.nsOp*(1+*maxNsGrow/100) + *nsSlack
+				status := "ok"
+				if c.nsOp > limit {
+					status = "REGRESSED"
+					failed = true
+				}
+				fmt.Printf("%-8s %-34s %12.2f -> %12.2f ns/op (limit %.2f)\n", status, name, b.nsOp, c.nsOp, limit)
+				continue
+			}
 			fmt.Printf("info     %-34s %10.0f ns/op (baseline %.0f) — not gated\n", name, c.nsOp, b.nsOp)
 			continue
 		}
@@ -174,11 +211,55 @@ func main() {
 			failed = true
 		}
 	}
+	if *zeroAllocs != "" {
+		if !checkZeroAllocs(cur, *zeroAllocs) {
+			failed = true
+		}
+	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: throughput regressed more than %.0f%% (or benchmarks went missing) vs %s\n", *maxDrop, *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: all gated benchmarks within %.0f%% of baseline\n", *maxDrop)
+}
+
+// checkZeroAllocs enforces the allocation-free contract: every current
+// benchmark matching pattern must have been captured with -benchmem and
+// report exactly 0 allocs/op. Matching nothing is itself a failure —
+// an empty match would silently disarm the gate when benchmarks are
+// renamed.
+func checkZeroAllocs(cur map[string]benchResult, pattern string) bool {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -require-zero-allocs: %v\n", err)
+		return false
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -require-zero-allocs %q matched no current benchmarks\n", pattern)
+		return false
+	}
+	ok := true
+	for _, name := range names {
+		c := cur[name]
+		switch {
+		case !c.hasAllocs:
+			fmt.Printf("ALLOCS   %-34s no allocs/op reported (run with -benchmem)\n", name)
+			ok = false
+		case c.allocs != 0:
+			fmt.Printf("ALLOCS   %-34s %g allocs/op, must be 0\n", name, c.allocs)
+			ok = false
+		default:
+			fmt.Printf("ok       %-34s 0 allocs/op\n", name)
+		}
+	}
+	return ok
 }
 
 // checkSpeedup enforces the parallel-scaling floor: num's events/sec in

@@ -13,7 +13,8 @@
 //	                [-evals] [-sweep-points N] [-scenarios f.json,g.json]
 //	                [-fault-points N] [-traces t.idtr] [-sensitivity 0.6]
 //	campaign run    -dir DIR [-workers N] [-timeout D] [-stall D]
-//	                [-retries N] [-max N] [-telemetry]
+//	                [-retries N] [-max N] [-telemetry] [-telemetry-jsonl F]
+//	                [-listen ADDR] [-trace-out F]
 //	campaign resume -dir DIR ...   (alias of run)
 //	campaign status -dir DIR
 //
@@ -116,7 +117,7 @@ func cmdRun(args []string) {
 	stall := fs.Duration("stall", 2*time.Minute, "stall watchdog: cancel an experiment with no progress for this long (negative = off)")
 	retries := fs.Int("retries", 1, "retries per failed experiment")
 	maxNew := fs.Int("max", 0, "stop cleanly after this many newly completed experiments (0 = run to completion)")
-	telemetry := fs.Bool("telemetry", false, "dump campaign telemetry (Prometheus text) to stderr")
+	o := cli.AddObsFlags(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
@@ -124,8 +125,14 @@ func cmdRun(args []string) {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	defer o.Close()
 
-	reg := obs.NewRegistry()
+	// The runner is always instrumented — its counters are cheap and the
+	// live endpoint needs them — but export only happens under the flags.
+	reg := o.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &campaign.Runner{
 		Dir:          *dir,
 		Workers:      *workers,
@@ -135,12 +142,20 @@ func cmdRun(args []string) {
 		Obs:          reg,
 		Log:          os.Stderr,
 	}
+	// Pre-register the outcome counters so the first /metrics scrape —
+	// possibly before any experiment has committed — already exposes the
+	// campaign family at zero instead of an empty page.
+	for _, c := range []string{"campaign.completed", "campaign.failed", "campaign.retried", "campaign.skipped"} {
+		reg.Counter(c)
+	}
+	o.SetSnapshot(reg.Snapshot)
+	o.SetProgress(func() any { return r.Progress() })
+	if serr := o.Serve(ctx); serr != nil {
+		fatal(serr)
+	}
 	out, err := r.Run(ctx)
-	if *telemetry && reg != nil {
-		fmt.Fprintln(os.Stderr, "# campaign telemetry")
-		if terr := reg.Snapshot().WritePrometheus(os.Stderr); terr != nil {
-			fatal(terr)
-		}
+	if ferr := o.Finish(nil); ferr != nil {
+		fatal(ferr)
 	}
 	if err != nil && !cli.Interrupted(err) {
 		fatal(err)

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	eersweep [-product NetRecorder] [-points 6] [-seed 7] [-csv out.csv]
-//	         [-quick] [-timeout 5m]
+//	         [-quick] [-timeout 5m] [-telemetry] [-telemetry-jsonl F]
+//	         [-listen ADDR] [-trace-out F]
 //
 // Ctrl-C (or -timeout expiry) drains in-flight points at a clean event
 // boundary and prints the partial curve with an INTERRUPTED banner.
@@ -38,10 +39,15 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	o := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	defer o.Close()
+	if err := o.Serve(ctx); err != nil {
+		fatal(err)
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -52,7 +58,7 @@ func main() {
 		fatal(fmt.Errorf("unknown product %q", *productName))
 	}
 
-	opts := eval.SweepOptions{Seed: *seed, Points: *points, Workers: *workers}
+	opts := eval.SweepOptions{Seed: *seed, Points: *points, Workers: *workers, Obs: o.Registry()}
 	if *quick {
 		opts.TrainFor = 6 * time.Second
 		opts.RunFor = 14 * time.Second
@@ -73,6 +79,12 @@ func main() {
 	}
 	if err := report.ErrorCurves(os.Stdout, sw); err != nil {
 		fatal(err)
+	}
+	if reg := o.Registry(); reg != nil {
+		sw.Publish(reg)
+		if ferr := o.Finish(nil); ferr != nil {
+			fatal(ferr)
+		}
 	}
 	if *csvFile != "" {
 		err := fsio.WriteAtomic(*csvFile, func(w io.Writer) error {

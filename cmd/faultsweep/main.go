@@ -6,7 +6,8 @@
 //
 //	faultsweep -scenario examples/faults/span-degrade.json
 //	           [-product NAME] [-points N] [-seed N] [-quick] [-workers N]
-//	           [-csv] [-o FILE] [-telemetry] [-timeout 5m]
+//	           [-csv] [-o FILE] [-telemetry] [-telemetry-jsonl F]
+//	           [-listen ADDR] [-trace-out F] [-timeout 5m]
 //
 // Output on stdout is fully deterministic for a given seed, scenario,
 // and point count: identical invocations produce byte-identical output
@@ -29,7 +30,6 @@ import (
 	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/fsio"
-	"repro/internal/obs"
 	"repro/internal/products"
 	"repro/internal/report"
 )
@@ -43,13 +43,17 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool bound (0 = all cores, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit the curve as CSV instead of the report")
 	outFile := flag.String("o", "", "write the report/CSV to this file (atomic) instead of stdout")
-	telemetry := flag.Bool("telemetry", false, "dump survivability telemetry (Prometheus text) to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
 	kinds := flag.Bool("kinds", false, "list fault kinds and exit")
+	o := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	defer o.Close()
+	if err := o.Serve(ctx); err != nil {
+		fatal(err)
+	}
 
 	if *kinds {
 		for _, k := range faults.Kinds() {
@@ -73,6 +77,7 @@ func main() {
 		Seed:    *seed,
 		Points:  *points,
 		Workers: *workers,
+		Obs:     o.Registry(),
 	}
 	if *quick {
 		opts.TrainFor = 8 * time.Second
@@ -103,10 +108,9 @@ func main() {
 		fatal(err)
 	}
 
-	if *telemetry {
-		reg := obs.NewRegistry()
+	if reg := o.Registry(); reg != nil {
 		sw.Publish(reg)
-		if err := reg.Snapshot().WritePrometheus(os.Stderr); err != nil {
+		if err := o.Finish(nil); err != nil {
 			fatal(err)
 		}
 	}

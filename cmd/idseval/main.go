@@ -8,6 +8,7 @@
 //
 //	idseval [-quick] [-seed N] [-workers N] [-class logistical|architectural|performance|all]
 //	        [-posture realtime|distributed|uniform] [-product NAME] [-tables] [-timeout 10m]
+//	        [-telemetry] [-telemetry-jsonl F] [-listen ADDR] [-trace-out F]
 //	idseval -shards N [-scale-segments N] [-scale-hosts N] [-scale-duration D] [-product NAME]
 //
 // With -shards the tool runs the at-scale sharded simulation instead of
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/cli"
@@ -55,14 +57,14 @@ func main() {
 	scaleSegments := flag.Int("scale-segments", 8, "sharded run: leaf-switch segments (one event domain each)")
 	scaleHosts := flag.Int("scale-hosts", 40, "sharded run: hosts per segment")
 	scaleDuration := flag.Duration("scale-duration", 0, "sharded run: scored detection phase length (default 5s)")
-	telemetry := flag.Bool("telemetry", false, "collect telemetry and dump it (Prometheus text) to stderr; stdout is unaffected")
-	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file (implies collection)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	o := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	defer o.Close()
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -95,11 +97,9 @@ func main() {
 	}
 
 	if *shards > 0 {
-		collect := *telemetry || *telemetryJSONL != ""
-		if err := runShardedScale(ctx, out, field, shardedOpts{
+		if err := runShardedScale(ctx, out, field, o, shardedOpts{
 			seed: *seed, shards: *shards, segments: *scaleSegments,
 			hosts: *scaleHosts, duration: *scaleDuration,
-			telemetry: collect, prom: *telemetry, jsonl: *telemetryJSONL,
 		}); err != nil {
 			fatal(err)
 		}
@@ -112,9 +112,20 @@ func main() {
 	fmt.Fprintf(out, "Evaluating %d product(s) against the %d-metric standard (seed %d, quick=%v)\n\n",
 		len(field), reg.Len(), *seed, *quick)
 
-	collect := *telemetry || *telemetryJSONL != ""
+	// A live /metrics endpoint accumulates products as their evaluations
+	// complete: the merged-so-far provider is installed before the field
+	// fans out and snapshots arrive from worker goroutines.
+	collect := o.Collecting()
+	live := newLiveSnapshots()
+	o.SetSnapshot(live.merged)
+	if err := o.Serve(ctx); err != nil {
+		fatal(err)
+	}
 	evs, err := eval.EvaluateAll(ctx, field, reg, eval.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Telemetry: collect,
+		OnSnapshot: func(spec products.Spec, snap *obs.Snapshot) {
+			live.add(spec.Name+".", snap)
+		},
 	})
 	if err != nil {
 		if !cli.Interrupted(err) || evs == nil {
@@ -216,7 +227,15 @@ func main() {
 	// Telemetry export goes to stderr / files only: stdout above is
 	// byte-identical whether collection was on or off.
 	if collect {
-		if err := dumpTelemetry(evs, *telemetry, *telemetryJSONL); err != nil {
+		if o.Telemetry {
+			for _, ev := range evs {
+				if err := report.TelemetrySummary(os.Stderr, ev.Telemetry); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+		if err := o.Finish(nil); err != nil {
 			fatal(err)
 		}
 	}
@@ -225,30 +244,49 @@ func main() {
 	}
 }
 
-// dumpTelemetry merges per-product snapshots (prefixed by product name)
-// and exports them: human summary + Prometheus text on stderr when prom
-// is set, JSONL to jsonlPath when non-empty.
-func dumpTelemetry(evs []*eval.ProductEvaluation, prom bool, jsonlPath string) error {
-	merged := &obs.Snapshot{}
-	for _, ev := range evs {
-		if prom {
-			if err := report.TelemetrySummary(os.Stderr, ev.Telemetry); err != nil {
-				return err
-			}
-			fmt.Fprintln(os.Stderr)
-		}
-		merged.Merge(ev.Snapshot.Prefixed(ev.Spec.Name + "."))
+// liveSnapshots is the merged-so-far snapshot provider behind /metrics:
+// registries register as their runs start (live gauges) and finished
+// products contribute frozen prefixed snapshots. Safe for concurrent
+// use from evaluation workers and HTTP scrapes.
+type liveSnapshots struct {
+	mu    sync.Mutex
+	snaps []*obs.Snapshot
+	regs  []liveReg
+}
+
+type liveReg struct {
+	prefix string
+	reg    *obs.Registry
+}
+
+func newLiveSnapshots() *liveSnapshots { return &liveSnapshots{} }
+
+// add contributes a frozen snapshot (a completed product's telemetry).
+func (l *liveSnapshots) add(prefix string, snap *obs.Snapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.snaps = append(l.snaps, snap.Prefixed(prefix))
+}
+
+// watch contributes a registry that is still being written; every
+// merged() call re-snapshots it, so scrapes see gauges move mid-run.
+func (l *liveSnapshots) watch(prefix string, reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.regs = append(l.regs, liveReg{prefix, reg})
+}
+
+func (l *liveSnapshots) merged() *obs.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := &obs.Snapshot{}
+	for _, s := range l.snaps {
+		m.Merge(s)
 	}
-	if prom {
-		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
-		if err := merged.WritePrometheus(os.Stderr); err != nil {
-			return err
-		}
+	for _, lr := range l.regs {
+		m.Merge(lr.reg.Snapshot().Prefixed(lr.prefix))
 	}
-	if jsonlPath != "" {
-		return merged.WriteJSONLFile(jsonlPath)
-	}
-	return nil
+	return m
 }
 
 // shardedOpts bundles the -shards path's flag values.
@@ -257,18 +295,23 @@ type shardedOpts struct {
 	shards          int
 	segments, hosts int
 	duration        time.Duration
-	telemetry, prom bool
-	jsonl           string
 }
 
 // runShardedScale drives the at-scale sharded simulation for each
 // product in the field. Stdout carries only the deterministic report —
-// byte-identical across -shards values — while wall-clock throughput
-// and telemetry go to stderr.
-func runShardedScale(ctx context.Context, out *os.File, field []products.Spec, o shardedOpts) error {
+// byte-identical across -shards values and across the obs flags — while
+// wall-clock throughput, per-domain attribution, and telemetry go to
+// stderr. Per-product registries share one flight recorder so -trace-out
+// carries the whole field on a single timeline.
+func runShardedScale(ctx context.Context, out *os.File, field []products.Spec, obsFlags *cli.ObsFlags, o shardedOpts) error {
 	fmt.Fprintf(out, "Sharded at-scale evaluation: %d product(s), %d segments x %d hosts (seed %d)\n\n",
 		len(field), o.segments, o.hosts, o.seed)
-	merged := &obs.Snapshot{}
+	collect := obsFlags.Collecting()
+	live := newLiveSnapshots()
+	obsFlags.SetSnapshot(live.merged)
+	if err := obsFlags.Serve(ctx); err != nil {
+		return err
+	}
 	for _, spec := range field {
 		cfg := eval.ShardedScaleConfig{
 			Seed:            o.seed,
@@ -277,8 +320,10 @@ func runShardedScale(ctx context.Context, out *os.File, field []products.Spec, o
 			Shards:          o.shards,
 			Duration:        o.duration,
 		}
-		if o.telemetry {
+		if collect {
 			cfg.Obs = obs.NewRegistry()
+			cfg.Obs.SetFlight(obsFlags.Registry().Flight())
+			live.watch(spec.Name+".", cfg.Obs)
 		}
 		res, err := eval.RunShardedScale(ctx, spec, cfg)
 		if err != nil {
@@ -290,20 +335,11 @@ func runShardedScale(ctx context.Context, out *os.File, field []products.Spec, o
 		fmt.Fprintln(out)
 		fmt.Fprintf(os.Stderr, "%s: %d events in %.2fs wall = %.0f events/sec (%d shards)\n",
 			spec.Name, res.Events, res.WallSeconds, res.EventsPerSec, o.shards)
-		if cfg.Obs != nil {
-			merged.Merge(cfg.Obs.Snapshot().Prefixed(spec.Name + "."))
-		}
-	}
-	if o.prom {
-		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
-		if err := merged.WritePrometheus(os.Stderr); err != nil {
+		if err := report.ShardedScaleAttribution(os.Stderr, res); err != nil {
 			return err
 		}
 	}
-	if o.jsonl != "" {
-		return merged.WriteJSONLFile(o.jsonl)
-	}
-	return nil
+	return obsFlags.Finish(nil)
 }
 
 func fatal(err error) {

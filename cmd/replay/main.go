@@ -12,7 +12,8 @@
 // Usage:
 //
 //	replay -trace trace.idtr [-product TrueSecure] [-sensitivity 0.6]
-//	       [-train 15] [-seed 11] [-timeout 5m]
+//	       [-train 15] [-seed 11] [-timeout 5m] [-telemetry]
+//	       [-telemetry-jsonl F] [-listen ADDR] [-trace-out F]
 //
 // Ctrl-C (or -timeout expiry) halts the replay at a clean event
 // boundary and exits without a result — a partially replayed trace is
@@ -40,15 +41,15 @@ func main() {
 	sensitivity := flag.Float64("sensitivity", 0.6, "detection sensitivity in [0,1]")
 	trainSecs := flag.Float64("train", 15, "clean-baseline training seconds before replay")
 	seed := flag.Int64("seed", 11, "testbed seed")
-	telemetry := flag.Bool("telemetry", false, "dump the telemetry snapshot (Prometheus text) to stderr")
-	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
 	timeout := flag.Duration("timeout", 0, "abort the replay after this wall-clock duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	o := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	defer o.Close()
 
 	if *traceFile == "" {
 		fatal(fmt.Errorf("-trace is required"))
@@ -74,8 +75,15 @@ func main() {
 
 	// One registry carries the whole run: stage spans (always shown on
 	// stderr, as before), plus decoder/pipeline instrumentation exported
-	// when -telemetry asks for it. Telemetry never touches stdout.
-	reg := obs.NewRegistry()
+	// when the obs flags ask for it. Telemetry never touches stdout.
+	reg := o.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o.SetSnapshot(reg.Snapshot)
+	if err := o.Serve(ctx); err != nil {
+		fatal(err)
+	}
 	dur := func(name string) time.Duration {
 		d, _ := reg.SpanDur(name)
 		return d.Round(time.Millisecond)
@@ -132,27 +140,12 @@ func main() {
 		fatal(err)
 	}
 
-	if err := dumpTelemetry(reg.Snapshot(), *telemetry, *telemetryJSONL); err != nil {
+	if err := o.Finish(nil); err != nil {
 		fatal(err)
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
-}
-
-// dumpTelemetry exports a snapshot per the -telemetry flags: Prometheus
-// text to stderr, JSONL to a file.
-func dumpTelemetry(snap *obs.Snapshot, prom bool, jsonlPath string) error {
-	if prom {
-		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
-		if err := snap.WritePrometheus(os.Stderr); err != nil {
-			return err
-		}
-	}
-	if jsonlPath != "" {
-		return snap.WriteJSONLFile(jsonlPath)
-	}
-	return nil
 }
 
 // sniffIDT2 reports whether f starts with the IDT2 magic, leaving the

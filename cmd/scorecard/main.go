@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -29,7 +30,9 @@ func main() {
 	emitPosture := flag.String("emit-posture", "", "write the named posture as requirements JSON to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	o := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+	defer o.Close()
 
 	stopProf, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -95,6 +98,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Derived weights land in the telemetry registry so a JSONL or
+	// Prometheus export carries the weighting evidence beside the
+	// ranking; stdout stays byte-identical either way.
+	if oreg := o.Registry(); oreg != nil {
+		for _, id := range requirements.SortedNonZero(w) {
+			oreg.Gauge("scorecard.weight." + id + "_ppm").Set(int64(w[id] * 1e6))
+		}
+	}
 	fmt.Println("Requirements:")
 	fmt.Print(set.Describe())
 	fmt.Println("\nDerived weights (nonzero):")
@@ -104,6 +115,9 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
+		if err := o.Finish(nil); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	var cards []*core.Scorecard
@@ -126,6 +140,15 @@ func main() {
 	fmt.Println("\nWeighted ranking (Figure 5):")
 	if err := report.Ranking(os.Stdout, ranked); err != nil {
 		fatal(err)
+	}
+	if oreg := o.Registry(); oreg != nil {
+		for i, ws := range ranked {
+			oreg.Gauge("scorecard.ranking." + ws.System + ".position").Set(int64(i + 1))
+			oreg.Gauge("scorecard.ranking." + ws.System + ".total_ppm").Set(int64(ws.Total * 1e6))
+		}
+		if err := o.Finish(nil); err != nil {
+			fatal(err)
+		}
 	}
 }
 

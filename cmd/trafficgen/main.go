@@ -13,7 +13,8 @@
 //	trafficgen -o trace.idtr [-profile ecommerce|cluster] [-seconds 60]
 //	           [-pps 600] [-seed 21] [-attacks] [-strength 1.0]
 //	           [-random-payloads] [-json] [-hosts 6] [-external 3]
-//	           [-segments 0] [-timeout 5m]
+//	           [-segments 0] [-timeout 5m] [-telemetry]
+//	           [-telemetry-jsonl F] [-listen ADDR] [-trace-out F]
 //
 // With -segments N the trace models the sharded large topology: N
 // per-segment background generators (each with its own RNG stream and
@@ -58,15 +59,15 @@ func main() {
 	hosts := flag.Int("hosts", 6, "cluster host count (per segment with -segments)")
 	external := flag.Int("external", 3, "external host count")
 	segments := flag.Int("segments", 0, "per-segment generators over the large-topology address plan (0 = single flat cluster)")
-	telemetry := flag.Bool("telemetry", false, "dump generation telemetry (Prometheus text) to stderr")
-	telemetryJSONL := flag.String("telemetry-jsonl", "", "write the telemetry snapshot as JSONL to this file")
 	timeout := flag.Duration("timeout", 0, "abort generation after this wall-clock duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	o := cli.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	defer o.Close()
 
 	if *out == "" {
 		fatal(fmt.Errorf("-o is required"))
@@ -75,7 +76,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	reg := obs.NewRegistry()
+	reg := o.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o.SetSnapshot(reg.Snapshot)
+	if err := o.Serve(ctx); err != nil {
+		fatal(err)
+	}
 	var profile traffic.Profile
 	switch *profileName {
 	case "ecommerce":
@@ -207,7 +215,7 @@ func main() {
 			fatal(err)
 		}
 		publishTraceStats(reg, uint64(s.Packets), uint64(s.MaliciousPkts), uint64(s.Bytes), 0)
-		finish(reg, *telemetry, *telemetryJSONL, stopProf)
+		finish(o, stopProf)
 		return
 	}
 
@@ -233,7 +241,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "trace: %d packets (%d malicious) over %v, %d incidents, %.0f pps avg, %d bytes (%d chunks)\n",
 		s.Packets, s.MaliciousPkts, s.Duration().Round(time.Millisecond), incidents, avgPps, s.Bytes, s.Chunks)
 	publishTraceStats(reg, s.Packets, s.MaliciousPkts, s.Bytes, s.Chunks)
-	finish(reg, *telemetry, *telemetryJSONL, stopProf)
+	finish(o, stopProf)
 }
 
 // publishTraceStats records the final trace shape as gauges so the
@@ -245,19 +253,10 @@ func publishTraceStats(reg *obs.Registry, packets, malicious, bytes uint64, chun
 	reg.Gauge("trafficgen.chunks").Set(int64(chunks))
 }
 
-// finish exports telemetry per the flags and stops any profiles.
-func finish(reg *obs.Registry, prom bool, jsonlPath string, stopProf func() error) {
-	snap := reg.Snapshot()
-	if prom {
-		fmt.Fprintln(os.Stderr, "# telemetry snapshot")
-		if err := snap.WritePrometheus(os.Stderr); err != nil {
-			fatal(err)
-		}
-	}
-	if jsonlPath != "" {
-		if err := snap.WriteJSONLFile(jsonlPath); err != nil {
-			fatal(err)
-		}
+// finish exports telemetry per the obs flags and stops any profiles.
+func finish(o *cli.ObsFlags, stopProf func() error) {
+	if err := o.Finish(nil); err != nil {
+		fatal(err)
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,79 @@ type Runner struct {
 	stopped  atomic.Bool
 	journal  *fsio.AppendFile
 	mu       sync.Mutex // serializes journal appends
+
+	// Live progress, served by the -listen /progress endpoint while Run
+	// executes. Guarded by its own mutex so scrapes never contend with
+	// journal appends.
+	progMu    sync.Mutex
+	prog      Progress
+	progStart time.Time
+	running   map[string]struct{}
+}
+
+// Progress is a point-in-time view of a running campaign for the live
+// observability endpoint. Counters move only after their journal entry
+// is durably appended, so a scrape always agrees with what a crash-
+// resume would reconstruct from the journal.
+type Progress struct {
+	Name      string `json:"name"`
+	Planned   int    `json:"planned"`
+	Skipped   int    `json:"skipped"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Retried   int    `json:"retried"`
+	// Running lists in-flight experiment IDs, sorted.
+	Running []string `json:"running"`
+	// Done is set once Run has returned.
+	Done      bool  `json:"done"`
+	ElapsedMs int64 `json:"elapsed_ms"`
+}
+
+// Progress returns the runner's current progress. Safe to call from any
+// goroutine at any time, including before Run starts (zero value) and
+// after it returns (Done set).
+func (r *Runner) Progress() Progress {
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	p := r.prog
+	p.Running = make([]string, 0, len(r.running))
+	for id := range r.running {
+		p.Running = append(p.Running, id)
+	}
+	sort.Strings(p.Running)
+	if !r.progStart.IsZero() {
+		p.ElapsedMs = time.Since(r.progStart).Milliseconds()
+	}
+	return p
+}
+
+// track mutates the progress snapshot under its lock.
+func (r *Runner) track(fn func(p *Progress)) {
+	r.progMu.Lock()
+	fn(&r.prog)
+	r.progMu.Unlock()
+}
+
+func (r *Runner) setRunning(id string, on bool) {
+	r.progMu.Lock()
+	if r.running == nil {
+		r.running = map[string]struct{}{}
+	}
+	if on {
+		r.running[id] = struct{}{}
+	} else {
+		delete(r.running, id)
+	}
+	r.progMu.Unlock()
+}
+
+// flight is the runner's recorder, nil (a no-op) unless the registry
+// armed one.
+func (r *Runner) flight() *obs.FlightRecorder {
+	if r.Obs == nil {
+		return nil
+	}
+	return r.Obs.Flight()
 }
 
 // Outcome summarizes one Run call.
@@ -150,6 +224,12 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		pending = append(pending, ex)
 	}
 	r.count("campaign.skipped", out.Skipped)
+	r.progMu.Lock()
+	r.prog = Progress{Name: r.Spec.Name, Planned: out.Planned, Skipped: out.Skipped}
+	r.progStart = time.Now()
+	r.running = map[string]struct{}{}
+	r.progMu.Unlock()
+	defer r.track(func(p *Progress) { p.Done = true })
 	r.logf("campaign %s: %d experiments planned, %d already done, %d to run",
 		r.Spec.Name, out.Planned, out.Skipped, len(pending))
 	if len(pending) == 0 {
@@ -231,8 +311,11 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 func (r *Runner) runOne(ctx context.Context, ex Experiment) (bool, int, error) {
 	retries := 0
 	backoff := r.Backoff
+	r.setRunning(ex.ID, true)
+	defer r.setRunning(ex.ID, false)
 	for attempt := 1; ; attempt++ {
 		start := time.Now()
+		r.flight().Record(obs.FlightExperimentStart, -1, -1, int64(attempt), ex.ID)
 		res, err := r.attempt(ctx, ex)
 		elapsed := time.Since(start)
 
@@ -241,6 +324,8 @@ func (r *Runner) runOne(ctx context.Context, ex Experiment) (bool, int, error) {
 				return false, retries, cerr
 			}
 			r.count("campaign.completed", 1)
+			r.track(func(p *Progress) { p.Completed++ })
+			r.flight().RecordSpan(obs.FlightExperimentDone, -1, start, elapsed, -1, int64(attempt), ex.ID)
 			r.logf("  done  %-40s (attempt %d, %v)", ex.ID, attempt, elapsed.Round(time.Millisecond))
 			return true, retries, nil
 		}
@@ -258,6 +343,7 @@ func (r *Runner) runOne(ctx context.Context, ex Experiment) (bool, int, error) {
 		case errors.As(err, &pe):
 			entry.Status = StatusPanicked
 			entry.Stack = pe.Stack
+			r.flight().Record(obs.FlightExperimentPanic, -1, -1, int64(attempt), ex.ID)
 		case errors.Is(err, errStalled):
 			entry.Status = StatusTimeout
 		}
@@ -268,10 +354,13 @@ func (r *Runner) runOne(ctx context.Context, ex Experiment) (bool, int, error) {
 
 		if attempt >= r.MaxAttempts {
 			r.count("campaign.failed", 1)
+			r.track(func(p *Progress) { p.Failed++ })
 			return false, retries, fmt.Errorf("campaign: %s failed after %d attempts: %w", ex.ID, attempt, err)
 		}
 		retries++
 		r.count("campaign.retried", 1)
+		r.track(func(p *Progress) { p.Retried++ })
+		r.flight().Record(obs.FlightExperimentRetry, -1, -1, int64(attempt), ex.ID)
 		select {
 		case <-ctx.Done():
 			return false, retries, ctx.Err()

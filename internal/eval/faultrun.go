@@ -75,8 +75,9 @@ func RunFaultScenario(tb *Testbed, sc *faults.Scenario, sensitivity float64, att
 	start := tb.Sim.Now()
 
 	inj, err := faults.NewInjector(tb.Sim, sc, severity, faults.Targets{
-		Links: tb.faultLinks(),
-		IDS:   tb.IDS,
+		Links:  tb.faultLinks(),
+		IDS:    tb.IDS,
+		Flight: tb.Cfg.Obs.Flight(),
 	})
 	if err != nil {
 		return nil, err
@@ -146,6 +147,11 @@ type FaultSweepOptions struct {
 	// Workers bounds the sweep's worker pool: 0 sizes it to the machine,
 	// 1 forces the serial path (the determinism reference).
 	Workers int
+	// Obs, when non-nil, instruments every point's testbed with one
+	// shared registry (counters aggregate across severities) and routes
+	// fault onsets into its flight recorder. Observation only: the sweep
+	// is bit-identical with or without it.
+	Obs *obs.Registry
 }
 
 func (o *FaultSweepOptions) applyDefaults() {
@@ -225,6 +231,7 @@ func FaultPointAt(ctx context.Context, spec products.Spec, sc *faults.Scenario, 
 	sev := float64(i) / float64(opts.Points-1)
 	tb, err := NewTestbed(spec, TestbedConfig{
 		Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
+		Obs: opts.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,180 @@
+package eval_test
+
+// External-package tests for the live observability plane's cross-layer
+// contract (report imports eval, so byte-level rendering comparisons
+// cannot live in package eval): switching on the full observation stack
+// — registry, per-shard attribution, flight recorder — changes nothing
+// a run prints to stdout or stores in its deterministic result fields.
+// Telemetry observes; it never perturbs.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/products"
+	"repro/internal/report"
+)
+
+func obsScaleConfig(shards int) eval.ShardedScaleConfig {
+	return eval.ShardedScaleConfig{
+		Seed:            4321,
+		Segments:        4,
+		HostsPerSegment: 8,
+		ExternalHosts:   2,
+		Shards:          shards,
+		Duration:        250 * time.Millisecond,
+		BackgroundPps:   600,
+		AttackEvery:     50 * time.Millisecond,
+	}
+}
+
+// renderShardedStdout renders exactly what the idseval CLI prints to
+// stdout for a sharded run — the surface the determinism contract pins.
+func renderShardedStdout(t *testing.T, cfg eval.ShardedScaleConfig) (string, *eval.ShardedScaleResult) {
+	t.Helper()
+	res, err := eval.RunShardedScale(context.Background(), products.TrueSecure(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.ShardedScaleReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), res
+}
+
+func TestObsPlaneShardedDeterminism(t *testing.T) {
+	// The acceptance guard: the same seed with the full observability
+	// plane armed (registry + flight recorder, as -listen/-trace-out
+	// arm it) renders byte-identical stdout vs all-off, at shards 1
+	// and 4.
+	want, bare := renderShardedStdout(t, obsScaleConfig(1))
+	if bare.Events == 0 {
+		t.Fatal("degenerate run")
+	}
+	for _, shards := range []int{1, 4} {
+		cfg := obsScaleConfig(shards)
+		cfg.Obs = obs.NewRegistry()
+		cfg.Obs.EnableFlight(obs.DefaultFlightCapacity)
+		got, res := renderShardedStdout(t, cfg)
+		if got != want {
+			t.Errorf("shards=%d observed run diverged from bare shards=1:\n--- bare ---\n%s--- observed ---\n%s",
+				shards, want, got)
+		}
+
+		// The observed run must actually have observed: per-domain
+		// attribution present and reconciling with the kernel counters,
+		// and shard windows on the flight timeline.
+		if len(res.Attribution) == 0 {
+			t.Fatalf("shards=%d: instrumented run has no attribution", shards)
+		}
+		var events uint64
+		for _, a := range res.Attribution {
+			events += a.Events
+		}
+		if events != res.Events {
+			t.Errorf("shards=%d: attribution events %d != kernel events %d", shards, events, res.Events)
+		}
+		fl := cfg.Obs.Flight()
+		if fl.Recorded() == 0 {
+			t.Fatalf("shards=%d: flight recorder stayed empty", shards)
+		}
+		windows := 0
+		for _, ev := range fl.Events() {
+			if ev.Kind == obs.FlightWindow {
+				windows++
+			}
+		}
+		if windows == 0 {
+			t.Errorf("shards=%d: no window events on the flight timeline", shards)
+		}
+
+		// The attribution rendering itself must be well-formed (it goes
+		// to stderr, beside events/sec — never into the stdout report).
+		var attr bytes.Buffer
+		if err := report.ShardedScaleAttribution(&attr, res); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(attr.String(), "per-domain attribution") ||
+			!strings.Contains(attr.String(), "balance:") {
+			t.Errorf("attribution render incomplete:\n%s", attr.String())
+		}
+	}
+
+	// An uninstrumented run renders no attribution at all.
+	var attr bytes.Buffer
+	if err := report.ShardedScaleAttribution(&attr, bare); err != nil {
+		t.Fatal(err)
+	}
+	if attr.Len() != 0 {
+		t.Errorf("bare run rendered attribution:\n%s", attr.String())
+	}
+}
+
+func TestFaultFlightRecorderNeutral(t *testing.T) {
+	// Fault onsets land on the flight timeline by wrapping the existing
+	// onset closures — never by scheduling new simulation events — so a
+	// recorded run must render byte-identically to a bare one.
+	sc, err := faults.Load("../../examples/faults/pipeline-outage.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := products.TrueSecure()
+
+	tbA, err := eval.NewTestbed(spec, quickTestbedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := eval.RunFaultScenario(tbA, sc, 0.5, 20*time.Second, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quickTestbedCfg()
+	cfg.Obs = obs.NewRegistry()
+	fl := cfg.Obs.EnableFlight(obs.DefaultFlightCapacity)
+	tbB, err := eval.NewTestbed(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := eval.RunFaultScenario(tbB, sc, 0.5, 20*time.Second, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := renderFaultAccuracy(t, plain.Accuracy), renderFaultAccuracy(t, observed.Accuracy); a != b {
+		t.Fatalf("flight recorder perturbed the run:\n--- bare ---\n%s\n--- observed ---\n%s", a, b)
+	}
+	if plain.AlertsLost != observed.AlertsLost || plain.MgmtDropped != observed.MgmtDropped {
+		t.Fatalf("fault accounting diverged: bare %+v vs observed %+v", plain, observed)
+	}
+
+	// Every applied fault's onset must be on the timeline, named
+	// kind:target with the effective severity in permille.
+	injects := map[string]int{}
+	for _, ev := range fl.Events() {
+		if ev.Kind == obs.FlightFaultInject {
+			injects[ev.Name]++
+			if ev.Arg < 0 || ev.Arg > 1000 {
+				t.Errorf("fault %s: permille %d outside [0,1000]", ev.Name, ev.Arg)
+			}
+			if ev.Sim < 0 {
+				t.Errorf("fault %s: no sim timestamp", ev.Name)
+			}
+		}
+	}
+	if len(injects) == 0 {
+		t.Fatal("no fault_inject events on the flight timeline")
+	}
+	for _, ap := range observed.Applied {
+		if injects[ap.Kind+":"+ap.Target] == 0 {
+			t.Errorf("applied fault %s:%s missing from flight timeline (have %v)", ap.Kind, ap.Target, injects)
+		}
+	}
+}

@@ -326,6 +326,12 @@ type Options struct {
 	// bit-identical with it on or off (the determinism guard test pins
 	// this).
 	Telemetry bool
+	// OnSnapshot, when set alongside Telemetry, is called with each
+	// product's snapshot as that product's evaluation completes — the
+	// hook behind a live /metrics endpoint that accumulates products as
+	// they finish. Called from worker goroutines; the callback must be
+	// safe for concurrent use.
+	OnSnapshot func(spec products.Spec, snap *obs.Snapshot)
 }
 
 // ProductEvaluation bundles a product's complete scorecard with the raw
@@ -480,6 +486,9 @@ func EvaluateProduct(ctx context.Context, spec products.Spec, reg *core.Registry
 		snap.Hists = append(snap.Hists, ev.measurementHists()...)
 		snap.Merge(accReg.Snapshot().Prefixed("accuracy."))
 		ev.Snapshot = snap
+		if opts.OnSnapshot != nil {
+			opts.OnSnapshot(spec, snap)
+		}
 	}
 	return ev, nil
 }

@@ -130,6 +130,12 @@ type ShardedScaleResult struct {
 	// deterministic report (stderr/bench material only).
 	WallSeconds  float64
 	EventsPerSec float64
+
+	// Attribution is the per-domain wall-clock profile (busy/blocked
+	// executor time per event domain), populated only when cfg.Obs was
+	// set. Machine-dependent like WallSeconds: rendered by
+	// report.ShardedScaleAttribution to stderr, never to stdout.
+	Attribution []simtime.DomainAttribution
 }
 
 // segPipeline is one segment's domain-local sensing stack.
@@ -276,6 +282,7 @@ func RunShardedScale(ctx context.Context, spec products.Spec, cfg ShardedScaleCo
 	if res.WallSeconds > 0 {
 		res.EventsPerSec = float64(res.Events) / res.WallSeconds
 	}
+	res.Attribution = ss.Attribution()
 	var delays []time.Duration
 	for s, sp := range segs {
 		st := SegmentScaleStats{

@@ -40,7 +40,8 @@ func renderScale(t *testing.T, spec products.Spec, cfg ShardedScaleConfig) (stri
 func scrubWall(r ShardedScaleResult) ShardedScaleResult {
 	r.WallSeconds = 0
 	r.EventsPerSec = 0
-	r.Shards = 0 // differs by construction; everything else must not
+	r.Shards = 0        // differs by construction; everything else must not
+	r.Attribution = nil // wall-clock profile, present only when instrumented
 	return r
 }
 

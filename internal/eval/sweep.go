@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/products"
 )
@@ -48,6 +49,10 @@ type SweepOptions struct {
 	// Workers bounds the sweep's worker pool: 0 sizes it to the machine,
 	// 1 forces the serial path (the determinism reference).
 	Workers int
+	// Obs, when non-nil, instruments every point's testbed with one
+	// shared registry (counters aggregate across points). Observation
+	// only: the sweep is bit-identical with or without it.
+	Obs *obs.Registry
 }
 
 func (o *SweepOptions) applyDefaults() {
@@ -127,6 +132,7 @@ func SweepPointAt(ctx context.Context, spec products.Spec, opts SweepOptions, i 
 	s := float64(i) / float64(opts.Points-1)
 	tb, err := NewTestbed(spec, TestbedConfig{
 		Seed: opts.Seed, TrainFor: opts.TrainFor, BackgroundPps: opts.Pps,
+		Obs: opts.Obs,
 	})
 	if err != nil {
 		return SweepPoint{}, err
@@ -216,4 +222,26 @@ func (s *SweepResult) Effect() SensitivityEffect {
 	first, last := s.Points[0], s.Points[len(s.Points)-1]
 	e.TradeoffDirectionOK = last.TypeII <= first.TypeII && last.TypeI >= first.TypeI
 	return e
+}
+
+// Publish writes the sweep's error curves into reg as "sweep.*" gauges
+// — per-point Type I/II error rates plus the EER crossover — so a live
+// /metrics scrape or a JSONL export carries the Figure-4 evidence.
+// Rates are in parts per million to stay integral. No-op on a nil
+// registry.
+func (s *SweepResult) Publish(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	for i, p := range s.Points {
+		prefix := fmt.Sprintf("sweep.p%02d.", i)
+		reg.Gauge(prefix + "sensitivity_ppm").Set(int64(p.Sensitivity * 1e6))
+		reg.Gauge(prefix + "type_i_ppm").Set(int64(p.TypeI * 1e4))
+		reg.Gauge(prefix + "type_ii_ppm").Set(int64(p.TypeII * 1e4))
+	}
+	if s.EERValid {
+		reg.Gauge("sweep.eer_sensitivity_ppm").Set(int64(s.EER * 1e6))
+		reg.Gauge("sweep.eer_error_ppm").Set(int64(s.EERError * 1e4))
+	}
+	reg.Gauge("sweep.points").Set(int64(len(s.Points)))
 }

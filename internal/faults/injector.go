@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -22,6 +23,12 @@ type Targets struct {
 	Links map[string]*netsim.Link
 	// IDS is the product under test.
 	IDS *ids.IDS
+	// Flight, when non-nil, receives a timeline event as each fault
+	// onset fires. The injector wraps its existing onset closures rather
+	// than scheduling anything new, so the simulation's event count and
+	// order — and therefore its results — are identical with or without
+	// a recorder.
+	Flight *obs.FlightRecorder
 }
 
 // Applied records one scheduled fault application for the run report.
@@ -137,6 +144,24 @@ func (inj *Injector) effective(ev Event) float64 {
 	return eff
 }
 
+// onset wraps a fault's onset closure so its firing lands on the
+// flight-recorder timeline (kind:target, sim time, severity in
+// permille). With no recorder wired the closure passes through
+// untouched: the wrapper never schedules anything of its own, so event
+// count, order, and results are identical either way.
+func (inj *Injector) onset(ev Event, eff float64, fn func()) func() {
+	f := inj.targets.Flight
+	if f == nil {
+		return fn
+	}
+	name := ev.Kind + ":" + ev.Target
+	permille := int64(eff * 1000)
+	return func() {
+		f.Record(obs.FlightFaultInject, -1, int64(inj.sim.Now()), permille, name)
+		fn()
+	}
+}
+
 // Arm schedules every event relative to the current simulation time (the
 // injection origin — typically the start of the attack phase). Events
 // with zero effective severity schedule nothing, so a severity-0 run is
@@ -172,7 +197,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 			return err
 		}
 		scale := 1 - 0.95*eff
-		inj.sim.MustSchedule(at, func() { l.SetBandwidthScale(scale) })
+		inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { l.SetBandwidthScale(scale) }))
 		inj.sim.MustSchedule(at+dur, func() { l.SetBandwidthScale(0) })
 		rec.Until = at + dur
 
@@ -185,7 +210,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 		if every < 1 {
 			every = 1
 		}
-		inj.sim.MustSchedule(at, func() { l.SetLossEvery(every) })
+		inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { l.SetLossEvery(every) }))
 		inj.sim.MustSchedule(at+dur, func() { l.SetLossEvery(0) })
 		rec.Until = at + dur
 
@@ -194,7 +219,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 		if err != nil {
 			return err
 		}
-		inj.sim.MustSchedule(at, func() { l.SetDown(true) })
+		inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { l.SetDown(true) }))
 		inj.sim.MustSchedule(at+scaledDur, func() { l.SetDown(false) })
 		rec.Until = at + scaledDur
 
@@ -214,7 +239,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 			if end > at+dur {
 				end = at + dur
 			}
-			inj.sim.MustSchedule(start, func() { l.SetDown(true) })
+			inj.sim.MustSchedule(start, inj.onset(ev, eff, func() { l.SetDown(true) }))
 			inj.sim.MustSchedule(end, func() { l.SetDown(false) })
 		}
 		rec.Until = at + dur
@@ -226,7 +251,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 		}
 		for _, sn := range pool {
 			sn := sn
-			inj.sim.MustSchedule(at, sn.InjectCrash)
+			inj.sim.MustSchedule(at, inj.onset(ev, eff, sn.InjectCrash))
 		}
 
 	case KindSensorHang:
@@ -236,7 +261,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 		}
 		for _, sn := range pool {
 			sn := sn
-			inj.sim.MustSchedule(at, sn.InjectHang)
+			inj.sim.MustSchedule(at, inj.onset(ev, eff, sn.InjectHang))
 			inj.sim.MustSchedule(at+scaledDur, sn.InjectRecover)
 		}
 		rec.Until = at + scaledDur
@@ -249,7 +274,7 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 		scale := 1 - 0.9*eff
 		for _, sn := range pool {
 			sn := sn
-			inj.sim.MustSchedule(at, func() { sn.InjectSlowdown(scale) })
+			inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { sn.InjectSlowdown(scale) }))
 			inj.sim.MustSchedule(at+dur, func() { sn.InjectSlowdown(0) })
 		}
 		rec.Until = at + dur
@@ -261,20 +286,20 @@ func (inj *Injector) armEvent(ev Event, eff float64) error {
 		}
 		for _, an := range pool {
 			an := an
-			inj.sim.MustSchedule(at, func() { an.SetStalled(true) })
+			inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { an.SetStalled(true) }))
 			inj.sim.MustSchedule(at+scaledDur, func() { an.SetStalled(false) })
 		}
 		rec.Until = at + scaledDur
 
 	case KindAlertLoss:
 		s := inj.targets.IDS
-		inj.sim.MustSchedule(at, func() { s.SetAlertLoss(true) })
+		inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { s.SetAlertLoss(true) }))
 		inj.sim.MustSchedule(at+scaledDur, func() { s.SetAlertLoss(false) })
 		rec.Until = at + scaledDur
 
 	case KindMgmtOutage:
 		m := inj.targets.IDS.Monitor()
-		inj.sim.MustSchedule(at, func() { m.SetMgmtOutage(true) })
+		inj.sim.MustSchedule(at, inj.onset(ev, eff, func() { m.SetMgmtOutage(true) }))
 		inj.sim.MustSchedule(at+scaledDur, func() { m.SetMgmtOutage(false) })
 		rec.Until = at + scaledDur
 

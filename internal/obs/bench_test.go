@@ -78,6 +78,22 @@ func BenchmarkHistogramObserveParallel(b *testing.B) {
 	})
 }
 
+func BenchmarkFlightRecordDisabled(b *testing.B) {
+	var f *FlightRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightWindow, 1, int64(i), 0, "w")
+	}
+}
+
+func BenchmarkFlightRecordEnabled(b *testing.B) {
+	f := NewFlightRecorder(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightWindow, 1, int64(i), 0, "w")
+	}
+}
+
 func BenchmarkSnapshot(b *testing.B) {
 	reg := NewRegistry()
 	for _, n := range []string{"a", "b", "c", "d"} {

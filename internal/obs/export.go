@@ -171,28 +171,76 @@ func promName(name string) string {
 	return b.String()
 }
 
+// promEscapeHelp escapes a HELP docstring per the exposition format:
+// backslash and newline only.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promEscapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promHeader writes one family's `# HELP` then `# TYPE` lines, in that
+// order as the exposition format requires.
+func promHeader(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, promEscapeHelp(help), name, typ)
+	return err
+}
+
 // WritePrometheus renders the snapshot in Prometheus text exposition
-// format. Each instrument carries a `clock` label where the timeline
-// matters; histograms emit the classic _bucket/_sum/_count triple plus
-// estimated p50/p95/p99 as a quantile-labeled summary line.
+// format, conforming to the format rules: every family leads with
+// `# HELP` then `# TYPE`, all of a family's samples are contiguous, no
+// two samples share a labelset, and histograms emit a cumulative
+// `_bucket` ladder whose `+Inf` bucket equals `_count`, plus `_sum`.
+//
+// The registry's dotted names and clock taxonomy don't fit Prometheus
+// names, so they ride in the HELP docstring. Gauge high-water marks
+// become a separate `<name>_high` gauge family; estimated histogram
+// percentiles become a `<name>_q` gauge family with a `quantile`
+// label (they are interpolations, not exact summaries, so they must
+// not pose as the histogram itself); spans become a `<name>_span_ns`
+// gauge family with one sample per record, disambiguated by a `seq`
+// label.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	if s == nil {
 		return nil
 	}
 	for _, c := range s.Counters {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(c.Name), promName(c.Name), c.Value); err != nil {
+		n := promName(c.Name)
+		if err := promHeader(w, n, c.Name+" (counter)", "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n%s_high %d\n", n, n, g.Value, n, g.High); err != nil {
+		if err := promHeader(w, n, g.Name+" (gauge)", "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name) + "_high"
+		if err := promHeader(w, n, g.Name+" high-water mark (gauge)", "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, g.High); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Hists {
 		n := promName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n# clock %s\n", n, h.Clock); err != nil {
+		if err := promHeader(w, n, fmt.Sprintf("%s (histogram, clock=%s)", h.Name, h.Clock), "histogram"); err != nil {
 			return err
 		}
 		cum := uint64(0)
@@ -206,15 +254,48 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			n, h.Count, n, h.Sum, n, h.Count); err != nil {
 			return err
 		}
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name) + "_q"
+		if err := promHeader(w, n, fmt.Sprintf("%s estimated percentiles (gauge, clock=%s)", h.Name, h.Clock), "gauge"); err != nil {
+			return err
+		}
 		for _, q := range []float64{0.5, 0.95, 0.99} {
 			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %d\n", n, q, h.Quantile(q)); err != nil {
 				return err
 			}
 		}
 	}
+	// Spans grouped per family so a family's samples stay contiguous;
+	// the seq label (record order within the family) keeps labelsets
+	// unique when a stage ran more than once.
+	spanFamilies := make(map[string]bool, len(s.Spans))
+	var spanOrder []string
 	for _, sp := range s.Spans {
-		if _, err := fmt.Fprintf(w, "%s_span_ns{clock=\"%s\"} %d\n", promName(sp.Name), sp.Clock, sp.Dur.Nanoseconds()); err != nil {
-			return err
+		n := promName(sp.Name) + "_span_ns"
+		if !spanFamilies[n] {
+			spanFamilies[n] = true
+			spanOrder = append(spanOrder, n)
+		}
+	}
+	for _, fam := range spanOrder {
+		seq := 0
+		wroteHeader := false
+		for _, sp := range s.Spans {
+			if promName(sp.Name)+"_span_ns" != fam {
+				continue
+			}
+			if !wroteHeader {
+				if err := promHeader(w, fam, sp.Name+" span durations (gauge)", "gauge"); err != nil {
+					return err
+				}
+				wroteHeader = true
+			}
+			if _, err := fmt.Fprintf(w, "%s{clock=\"%s\",seq=\"%d\"} %d\n",
+				fam, promEscapeLabel(sp.Clock.String()), seq, sp.Dur.Nanoseconds()); err != nil {
+				return err
+			}
+			seq++
 		}
 	}
 	return nil

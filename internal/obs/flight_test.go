@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightNilIsNoOp(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightMark, -1, -1, 0, "x")
+	f.RecordSpan(FlightWindow, 0, time.Now(), time.Millisecond, 0, 0, "")
+	if f.Len() != 0 || f.Recorded() != 0 || f.Dropped() != 0 || f.Events() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+}
+
+func TestFlightDisabledAllocFree(t *testing.T) {
+	var f *FlightRecorder
+	if n := testing.AllocsPerRun(1000, func() {
+		f.Record(FlightWindow, 3, 100, 7, "w")
+	}); n != 0 {
+		t.Fatalf("disabled flight Record allocates %.1f per op", n)
+	}
+	var reg *Registry
+	if reg.Flight() != nil || reg.EnableFlight(8) != nil {
+		t.Fatal("nil registry produced a recorder")
+	}
+}
+
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := int64(0); i < 10; i++ {
+		f.Record(FlightMark, -1, -1, i, "m")
+	}
+	if got := f.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := f.Recorded(); got != 10 {
+		t.Fatalf("Recorded = %d, want 10", got)
+	}
+	if got := f.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq || e.Arg != int64(wantSeq) {
+			t.Fatalf("event %d: seq=%d arg=%d, want oldest-first tail starting at 6", i, e.Seq, e.Arg)
+		}
+	}
+}
+
+func TestFlightRecordNoAllocWhenEnabled(t *testing.T) {
+	f := NewFlightRecorder(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		f.Record(FlightWindow, 1, 42, 3, "w")
+	}); n != 0 {
+		t.Fatalf("enabled flight Record allocates %.1f per op", n)
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlightRecorder(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f.Record(FlightWindow, int32(w), int64(i), 0, "w")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.Recorded(); got != 800 {
+		t.Fatalf("Recorded = %d, want 800", got)
+	}
+	// Seqs of retained events must be the contiguous tail.
+	evs := f.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained seqs not contiguous: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightChromeTrace(t *testing.T) {
+	f := NewFlightRecorder(64)
+	start := time.Now()
+	f.RecordSpan(FlightWindow, 0, start, 2*time.Millisecond, 1_000_000, 37, "")
+	f.RecordSpan(FlightBarrierWait, 1, start, time.Millisecond, -1, 0, "")
+	f.Record(FlightFaultInject, -1, 5_000_000, 0, "link_down:seg0")
+	f.Record(FlightExperimentStart, -1, -1, 1, "eval/TrueSecure")
+
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 3 thread_name metadata records (tids 0,1,2) + 4 events.
+	meta, complete, instant := 0, 0, 0
+	threadNames := map[int]string{}
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			threadNames[e.Tid] = e.Args["name"].(string)
+		case "X":
+			complete++
+			if e.Dur <= 0 {
+				t.Errorf("complete event %q has no duration", e.Name)
+			}
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 3 || complete != 2 || instant != 2 {
+		t.Fatalf("meta/complete/instant = %d/%d/%d, want 3/2/2\n%s", meta, complete, instant, buf.String())
+	}
+	if threadNames[0] != "harness" || threadNames[1] != "domain 0" || threadNames[2] != "domain 1" {
+		t.Fatalf("thread names: %v", threadNames)
+	}
+	// The window event carries its sim time and event count in args.
+	found := false
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "window" {
+			found = true
+			if e.Args["sim_us"].(float64) != 1000 {
+				t.Errorf("window sim_us = %v, want 1000", e.Args["sim_us"])
+			}
+			if e.Args["arg"].(float64) != 37 {
+				t.Errorf("window arg = %v, want 37", e.Args["arg"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no window complete event in trace")
+	}
+}
+
+func TestRegistryEnableFlightIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Flight() != nil {
+		t.Fatal("flight enabled by default")
+	}
+	f1 := reg.EnableFlight(16)
+	f2 := reg.EnableFlight(999)
+	if f1 == nil || f1 != f2 || reg.Flight() != f1 {
+		t.Fatal("EnableFlight not idempotent")
+	}
+	f1.Record(FlightMark, -1, -1, 0, "x")
+	if reg.Flight().Len() != 1 {
+		t.Fatal("recorder not shared")
+	}
+}

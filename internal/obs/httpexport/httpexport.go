@@ -1,0 +1,186 @@
+// Package httpexport serves the live observability plane over HTTP: a
+// read-only window into a running evaluation. It exposes
+//
+//	/metrics        Prometheus text rendered from a registry snapshot
+//	/healthz        liveness probe ("ok")
+//	/progress       JSON progress (campaign counts, running experiment
+//	                IDs, sim-vs-wall rates — whatever the host wires)
+//	/trace          Chrome trace_event JSON of the flight recorder
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The server is strictly an observer. It reads registry snapshots and
+// a host-supplied progress closure; it never writes into the
+// simulation, so a run behaves byte-identically with the listener on
+// or off (the determinism guard tests pin this). Snapshots are cached
+// for a short TTL so an aggressive scraper cannot turn /metrics into a
+// measurable load on the run it is watching.
+//
+// Start binds the listener synchronously (so `-listen 127.0.0.1:0`
+// reports the kernel-chosen port immediately) and serves in the
+// background; Shutdown drains gracefully and is wired to the
+// signal-aware contexts from internal/cli by the flag helper.
+package httpexport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config wires a Server to its host process. Snapshot is required;
+// everything else is optional.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:9090"; ":0" picks a port).
+	Addr string
+	// Snapshot captures the current telemetry state. Called at most once
+	// per SnapshotTTL regardless of scrape rate.
+	Snapshot func() *obs.Snapshot
+	// Progress returns the object rendered as /progress JSON. Nil means
+	// /progress serves 404.
+	Progress func() any
+	// Flight returns the flight recorder rendered at /trace. Nil (or a
+	// func returning nil) means /trace serves an empty valid trace.
+	Flight func() *obs.FlightRecorder
+	// SnapshotTTL bounds how often Snapshot runs; <= 0 defaults to 1s.
+	SnapshotTTL time.Duration
+	// Log receives one "listening on ..." line; nil discards it.
+	Log io.Writer
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+
+	mu       sync.Mutex
+	lastSnap *obs.Snapshot
+	lastAt   time.Time
+
+	done chan struct{}
+	err  error
+}
+
+// Start binds cfg.Addr and begins serving. The listener is bound
+// before Start returns, so Addr() is immediately valid.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Snapshot == nil {
+		return nil, errors.New("httpexport: Config.Snapshot is required")
+	}
+	if cfg.SnapshotTTL <= 0 {
+		cfg.SnapshotTTL = time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpexport: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+	}()
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "observability: listening on http://%s\n", s.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the bound address (with the real port when Addr was :0).
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting connections and drains in-flight requests
+// until ctx expires. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}
+
+// snapshot returns the cached snapshot, refreshing it when older than
+// the TTL. Scrapers therefore cost the run at most one Snapshot per
+// TTL, no matter how hard they poll.
+func (s *Server) snapshot() *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSnap == nil || time.Since(s.lastAt) >= s.cfg.SnapshotTTL {
+		s.lastSnap = s.cfg.Snapshot()
+		s.lastAt = time.Now()
+	}
+	return s.lastSnap
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if snap == nil {
+		return
+	}
+	if err := snap.WritePrometheus(w); err != nil {
+		// Connection-level failure; the response is already partially
+		// written, nothing recoverable to do.
+		return
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Progress == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.cfg.Progress()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	var f *obs.FlightRecorder
+	if s.cfg.Flight != nil {
+		f = s.cfg.Flight()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = f.WriteChromeTrace(w) // nil-safe: emits an empty valid trace
+}

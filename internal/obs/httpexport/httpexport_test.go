@@ -1,0 +1,159 @@
+package httpexport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func startTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("campaign.completed").Add(3)
+	reg.Gauge("simtime.shard.now_ns").Set(1e9)
+	flight := reg.EnableFlight(64)
+	flight.Record(obs.FlightMark, -1, -1, 0, "phase")
+
+	type progress struct {
+		Completed int `json:"completed"`
+		Planned   int `json:"planned"`
+	}
+	s := startTest(t, Config{
+		Snapshot: reg.Snapshot,
+		Progress: func() any { return progress{Completed: 3, Planned: 5} },
+		Flight:   reg.Flight,
+	})
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE campaign_completed counter", "campaign_completed 3",
+		"# TYPE simtime_shard_now_ns gauge", "simtime_shard_now_ns 1000000000",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress = %d", code)
+	}
+	var p progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil || p.Completed != 3 || p.Planned != 5 {
+		t.Fatalf("/progress = %q (err %v)", body, err)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != 200 || !strings.Contains(body, `"traceEvents"`) {
+		t.Fatalf("/trace = %d %q", code, body)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestProgressAbsent(t *testing.T) {
+	s := startTest(t, Config{Snapshot: func() *obs.Snapshot { return nil }})
+	if code, _ := get(t, "http://"+s.Addr()+"/progress"); code != 404 {
+		t.Fatalf("/progress without a provider = %d, want 404", code)
+	}
+	// A nil snapshot still serves an empty 200 /metrics.
+	if code, body := get(t, "http://"+s.Addr()+"/metrics"); code != 200 || body != "" {
+		t.Fatalf("/metrics with nil snapshot = %d %q", code, body)
+	}
+}
+
+func TestSnapshotTTLCaching(t *testing.T) {
+	var calls atomic.Int64
+	reg := obs.NewRegistry()
+	reg.Counter("x").Inc()
+	s := startTest(t, Config{
+		Snapshot:    func() *obs.Snapshot { calls.Add(1); return reg.Snapshot() },
+		SnapshotTTL: time.Hour,
+	})
+	for i := 0; i < 20; i++ {
+		if code, _ := get(t, "http://"+s.Addr()+"/metrics"); code != 200 {
+			t.Fatal("scrape failed")
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("snapshot called %d times for 20 scrapes within TTL, want 1", got)
+	}
+}
+
+func TestStartReportsAddrAndShutdown(t *testing.T) {
+	var log bytes.Buffer
+	s, err := Start(Config{
+		Addr:     "127.0.0.1:0",
+		Snapshot: func() *obs.Snapshot { return nil },
+		Log:      &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("observability: listening on http://%s\n", s.Addr())
+	if log.String() != want {
+		t.Fatalf("log = %q, want %q", log.String(), want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port is released: a second server can bind the same address.
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+func TestStartRequiresSnapshot(t *testing.T) {
+	if _, err := Start(Config{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("Start without Snapshot succeeded")
+	}
+}

@@ -178,6 +178,7 @@ type Registry struct {
 	hists     map[string]*Histogram
 	spans     []SpanRecord
 	spanEpoch time.Time
+	flight    *FlightRecorder
 }
 
 // NewRegistry creates an empty enabled registry.
@@ -242,6 +243,47 @@ func (r *Registry) HistogramWithBounds(name string, clock Clock, bounds []int64)
 		r.hists[name] = h
 	}
 	return h
+}
+
+// EnableFlight attaches a flight recorder holding the last cap events
+// (cap <= 0 selects DefaultFlightCapacity) and returns it. Idempotent:
+// a recorder already attached is returned unchanged, so wiring helpers
+// can call it freely. Returns nil on a nil registry — the disabled
+// configuration stays fully disabled.
+func (r *Registry) EnableFlight(cap int) *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.flight == nil {
+		r.flight = NewFlightRecorder(cap)
+	}
+	return r.flight
+}
+
+// SetFlight attaches an existing recorder — the sharing path when
+// several short-lived registries (one per product run) feed one
+// process-wide timeline. A nil f detaches. No-op on a nil registry.
+func (r *Registry) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flight = f
+}
+
+// Flight returns the attached flight recorder, or nil when none was
+// enabled (and on a nil registry). The nil result is itself a valid
+// no-op recorder, so callers thread it without checks.
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
 }
 
 // sortedKeys returns map keys in sorted order, so snapshots and exports

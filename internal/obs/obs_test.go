@@ -202,10 +202,12 @@ func TestSnapshotDeterministicOrderAndExports(t *testing.T) {
 		t.Fatal("prometheus export not deterministic across identical registries")
 	}
 	for _, want := range []string{
-		"# TYPE a_count counter", "a_count 1",
-		"# TYPE m_depth gauge", "m_depth 4", "m_depth_high 4",
-		"# TYPE b_lat_ns histogram", "# clock sim",
-		`b_lat_ns_bucket{le="+Inf"} 1`, `b_lat_ns{quantile="0.95"}`,
+		"# HELP a_count a.count (counter)", "# TYPE a_count counter", "a_count 1",
+		"# TYPE m_depth gauge", "m_depth 4",
+		"# TYPE m_depth_high gauge", "m_depth_high 4",
+		"# HELP b_lat_ns b.lat_ns (histogram, clock=sim)", "# TYPE b_lat_ns histogram",
+		`b_lat_ns_bucket{le="+Inf"} 1`,
+		"# TYPE b_lat_ns_q gauge", `b_lat_ns_q{quantile="0.95"}`,
 	} {
 		if !strings.Contains(prom1.String(), want) {
 			t.Errorf("prometheus export missing %q:\n%s", want, prom1.String())

@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/eval"
 )
@@ -44,4 +45,50 @@ func ShardedScaleReport(w io.Writer, r *eval.ShardedScaleResult) error {
 		)
 	}
 	return t.render(w)
+}
+
+// ShardedScaleAttribution renders the per-domain wall-clock profile of
+// an instrumented sharded run: where each event domain's executor time
+// went (busy executing vs blocked at the window barrier) and how evenly
+// events spread across the partition. These are machine-dependent
+// measurements — callers print them to stderr beside events/sec, never
+// into the deterministic stdout report. No-op when the run was not
+// instrumented.
+func ShardedScaleAttribution(w io.Writer, r *eval.ShardedScaleResult) error {
+	if len(r.Attribution) == 0 {
+		return nil
+	}
+	var busiest, total float64
+	for _, a := range r.Attribution {
+		b := a.Busy.Seconds()
+		total += b
+		if b > busiest {
+			busiest = b
+		}
+	}
+	fmt.Fprintf(w, "%s: per-domain attribution (%d windows):\n", r.Product, r.Windows)
+	t := &table{header: []string{"domain", "events", "busy", "blocked", "share"}}
+	for _, a := range r.Attribution {
+		share := 0.0
+		if total > 0 {
+			share = 100 * a.Busy.Seconds() / total
+		}
+		t.addRow(
+			fmt.Sprintf("d%02d", a.Domain),
+			fmt.Sprintf("%d", a.Events),
+			fmt.Sprintf("%v", a.Busy.Round(time.Microsecond)),
+			fmt.Sprintf("%v", a.Blocked.Round(time.Microsecond)),
+			fmt.Sprintf("%.1f%%", share),
+		)
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	if busiest > 0 && total > 0 {
+		// Balance: 1.0 means every domain worked equally; the reciprocal of
+		// the busiest domain's share of a perfectly even split.
+		fmt.Fprintf(w, "balance: %.2f (1.00 = even; busiest domain limits the parallel speedup)\n",
+			total/(busiest*float64(len(r.Attribution))))
+	}
+	return nil
 }

@@ -76,12 +76,14 @@ type ShardedSim struct {
 	merged  []shardMsg // reusable merge scratch
 
 	// Executor pool (lazy; only exists when workers > 1). Each slot of
-	// windowCounts/finished is written only by the executor running that
-	// domain and read by the coordinator after the ack barrier.
+	// windowCounts/started/finished is written only by the executor
+	// running that domain and read by the coordinator after the ack
+	// barrier.
 	jobs         chan int
 	acks         chan int
 	target       Time // window deadline for pool workers
 	windowCounts []uint64
+	started      []time.Time
 	finished     []time.Time
 	closed       bool
 
@@ -90,6 +92,31 @@ type ShardedSim struct {
 	cWindows *obs.Counter
 	cPosted  *obs.Counter
 	hStall   *obs.Histogram
+
+	// Per-domain wall-clock attribution (nil = tracking off, zero cost on
+	// the window loop). attrib accumulates; the gauges mirror it after
+	// every window so a live /metrics scrape sees current totals.
+	attrib     []DomainAttribution
+	runStart   time.Time
+	gBusy      []*obs.Gauge
+	gBlocked   []*obs.Gauge
+	gIdle      []*obs.Gauge
+	gNow       *obs.Gauge
+	hOccupancy *obs.Histogram
+	flight     *obs.FlightRecorder
+}
+
+// DomainAttribution is one domain's accumulated wall-clock profile:
+// Busy is time spent executing its events, Blocked is time idled at the
+// window barrier waiting for the slowest domain (parallel executors
+// only). Both are wall-clock measurements of the harness — they steer
+// lookahead and partition tuning, never simulation results.
+type DomainAttribution struct {
+	Domain  int
+	Events  uint64
+	Windows uint64
+	Busy    time.Duration
+	Blocked time.Duration
 }
 
 // NewSharded creates a coordinator with the given number of event
@@ -110,6 +137,7 @@ func NewSharded(seed int64, domains int) (*ShardedSim, error) {
 		ss.mail[i] = make([][]shardMsg, domains)
 		ss.mailIdx[i] = make([]uint64, domains)
 	}
+	ss.started = make([]time.Time, domains)
 	ss.finished = make([]time.Time, domains)
 	// Nil *obs.Counter entries are free no-ops (obs instruments are
 	// nil-safe), so the hot paths never branch on "instrumented?".
@@ -175,23 +203,83 @@ func (ss *ShardedSim) SetWorkers(n int) {
 	ss.workers = n
 }
 
+// occupancyBounds is the power-of-two ladder for the window-occupancy
+// histogram (events one domain executed in one window): 1, 2, 4, ...,
+// 1Mi. Occupancy is a count, not a duration, so the default duration
+// ladder would misbin it.
+var occupancyBounds = func() []int64 {
+	b := make([]int64, 21)
+	for i := range b {
+		b[i] = 1 << i
+	}
+	return b
+}()
+
 // Instrument registers per-domain executed-event counters, a window
 // counter, a cross-message counter, and the barrier-stall histogram
 // (wall time each domain spends waiting at the barrier for the window's
 // slowest domain; recorded only when executors run in parallel) under
-// "simtime.shard.". Telemetry observes and never perturbs — instruments
-// are atomic and touch no simulation state.
+// "simtime.shard.". It also switches on per-domain wall-clock
+// attribution: busy/blocked/idle gauges per domain, a window-occupancy
+// histogram (events per domain-window), the live sim clock gauge
+// simtime.shard.now_ns, and — when reg has a flight recorder — window
+// and barrier-wait timeline events. Telemetry observes and never
+// perturbs — instruments are atomic and touch no simulation state, so
+// results are byte-identical with instrumentation on or off.
 func (ss *ShardedSim) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	ss.cEvents = make([]*obs.Counter, len(ss.domains))
+	ss.gBusy = make([]*obs.Gauge, len(ss.domains))
+	ss.gBlocked = make([]*obs.Gauge, len(ss.domains))
+	ss.gIdle = make([]*obs.Gauge, len(ss.domains))
 	for i := range ss.domains {
 		ss.cEvents[i] = reg.Counter(fmt.Sprintf("simtime.shard.d%02d.events", i))
+		ss.gBusy[i] = reg.Gauge(fmt.Sprintf("simtime.shard.d%02d.busy_ns", i))
+		ss.gBlocked[i] = reg.Gauge(fmt.Sprintf("simtime.shard.d%02d.blocked_ns", i))
+		ss.gIdle[i] = reg.Gauge(fmt.Sprintf("simtime.shard.d%02d.idle_ns", i))
 	}
 	ss.cWindows = reg.Counter("simtime.shard.windows")
 	ss.cPosted = reg.Counter("simtime.shard.cross_msgs")
 	ss.hStall = reg.Histogram("simtime.shard.barrier_stall_ns", obs.ClockWall)
+	ss.hOccupancy = reg.HistogramWithBounds("simtime.shard.window_events", obs.ClockNone, occupancyBounds)
+	ss.gNow = reg.Gauge("simtime.shard.now_ns")
+	ss.flight = reg.Flight()
+	ss.attrib = make([]DomainAttribution, len(ss.domains))
+	for i := range ss.attrib {
+		ss.attrib[i].Domain = i
+	}
+}
+
+// Attribution returns a copy of the per-domain wall-clock profile
+// accumulated since Instrument. Nil when the coordinator is not
+// instrumented — attribution costs two clock reads per domain-window,
+// so the uninstrumented window loop stays clock-free.
+func (ss *ShardedSim) Attribution() []DomainAttribution {
+	if ss.attrib == nil {
+		return nil
+	}
+	out := make([]DomainAttribution, len(ss.attrib))
+	copy(out, ss.attrib)
+	return out
+}
+
+// publishAttribution mirrors the accumulated attribution into the live
+// gauges after a window: idle is everything since the run's first
+// window that was neither executing events nor blocked at the barrier.
+func (ss *ShardedSim) publishAttribution() {
+	elapsed := time.Since(ss.runStart)
+	for i := range ss.attrib {
+		a := &ss.attrib[i]
+		ss.gBusy[i].Set(int64(a.Busy))
+		ss.gBlocked[i].Set(int64(a.Blocked))
+		idle := elapsed - a.Busy - a.Blocked
+		if idle < 0 {
+			idle = 0
+		}
+		ss.gIdle[i].Set(int64(idle))
+	}
 }
 
 // SetInterrupt installs the cancellation check on every domain (see
@@ -258,6 +346,7 @@ func (ss *ShardedSim) RunUntil(deadline Time) uint64 {
 		// One domain is a plain simulation; no windows, no barriers.
 		n := ss.domains[0].RunUntil(deadline)
 		ss.now = ss.domains[0].Now()
+		ss.gNow.Set(int64(ss.now))
 		return n
 	}
 	if ss.lookahead <= 0 {
@@ -283,6 +372,7 @@ func (ss *ShardedSim) RunUntil(deadline Time) uint64 {
 		ss.windows++
 		ss.cWindows.Inc()
 		ss.now = runTo + 1
+		ss.gNow.Set(int64(ss.now))
 	}
 	if deadline < maxTime && ss.Interrupted() == nil {
 		for _, d := range ss.domains {
@@ -301,14 +391,39 @@ func (ss *ShardedSim) RunUntil(deadline Time) uint64 {
 
 // runWindow advances every domain to runTo, using the executor pool when
 // more than one worker is configured. Per-domain event totals are
-// accumulated into the telemetry counters either way.
+// accumulated into the telemetry counters either way; with attribution
+// on (Instrument was called), each domain-window also charges busy and
+// barrier-blocked wall time and emits flight timeline events. All of it
+// is observation only — the uninstrumented loop performs no clock reads.
 func (ss *ShardedSim) runWindow(runTo Time) uint64 {
+	winBase := int64(ss.now)
+	if ss.attrib != nil && ss.runStart.IsZero() {
+		ss.runStart = time.Now()
+	}
 	var n uint64
 	if ss.workers <= 1 {
 		for i, d := range ss.domains {
+			var t0 time.Time
+			if ss.attrib != nil {
+				t0 = time.Now()
+			}
 			en := d.RunUntil(runTo)
 			ss.cEvents[i].Add(en)
 			n += en
+			if ss.attrib != nil {
+				busy := time.Since(t0)
+				a := &ss.attrib[i]
+				a.Events += en
+				a.Windows++
+				a.Busy += busy
+				ss.hOccupancy.Observe(int64(en))
+				if en > 0 {
+					ss.flight.RecordSpan(obs.FlightWindow, int32(i), t0, busy, winBase, int64(en), "")
+				}
+			}
+		}
+		if ss.attrib != nil {
+			ss.publishAttribution()
 		}
 		return n
 	}
@@ -327,10 +442,30 @@ func (ss *ShardedSim) runWindow(runTo Time) uint64 {
 	// Barrier stall: wall time each domain idled waiting for the window's
 	// slowest domain. Telemetry only — never feeds back into results.
 	for i := range ss.domains {
+		stall := last.Sub(ss.finished[i])
 		if ss.hStall != nil {
-			ss.hStall.Observe(int64(last.Sub(ss.finished[i])))
+			ss.hStall.Observe(int64(stall))
 		}
-		n += ss.windowCounts[i]
+		en := ss.windowCounts[i]
+		n += en
+		if ss.attrib != nil {
+			busy := ss.finished[i].Sub(ss.started[i])
+			a := &ss.attrib[i]
+			a.Events += en
+			a.Windows++
+			a.Busy += busy
+			a.Blocked += stall
+			ss.hOccupancy.Observe(int64(en))
+			if en > 0 {
+				ss.flight.RecordSpan(obs.FlightWindow, int32(i), ss.started[i], busy, winBase, int64(en), "")
+			}
+			if stall > 0 {
+				ss.flight.RecordSpan(obs.FlightBarrierWait, int32(i), ss.finished[i], stall, winBase, 0, "")
+			}
+		}
+	}
+	if ss.attrib != nil {
+		ss.publishAttribution()
 	}
 	return n
 }
@@ -346,6 +481,7 @@ func (ss *ShardedSim) ensurePool() {
 	for w := 0; w < ss.workers; w++ {
 		go func() {
 			for i := range ss.jobs {
+				ss.started[i] = time.Now()
 				en := ss.domains[i].RunUntil(ss.target)
 				ss.windowCounts[i] = en
 				ss.cEvents[i].Add(en)

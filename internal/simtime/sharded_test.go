@@ -416,3 +416,120 @@ func TestShardedWorkerPoolStallHistogram(t *testing.T) {
 		t.Fatal("barrier stall histogram empty after parallel run")
 	}
 }
+
+// TestShardedAttribution pins the per-domain wall-clock attribution
+// surface: events/windows totals must reconcile exactly with the
+// deterministic counters, the busy/blocked/idle gauges and occupancy
+// histogram must materialize, and the flight recorder must carry the
+// window timeline.
+func TestShardedAttribution(t *testing.T) {
+	const domains = 4
+	reg := obs.NewRegistry()
+	flight := reg.EnableFlight(1 << 12)
+	ss, _ := buildDigestPingPong(t, domains, 1000, 150_000, 21)
+	defer ss.Close()
+	ss.Instrument(reg)
+	ss.SetWorkers(domains)
+	ss.Run()
+
+	attr := ss.Attribution()
+	if len(attr) != domains {
+		t.Fatalf("attribution entries = %d, want %d", len(attr), domains)
+	}
+	var events uint64
+	for i, a := range attr {
+		if a.Domain != i {
+			t.Fatalf("attribution[%d].Domain = %d", i, a.Domain)
+		}
+		if a.Windows != ss.Windows() {
+			t.Fatalf("d%d windows = %d, coordinator ran %d", i, a.Windows, ss.Windows())
+		}
+		events += a.Events
+	}
+	if events != ss.Processed() {
+		t.Fatalf("attribution events sum %d, Processed %d", events, ss.Processed())
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"simtime.shard.d00.busy_ns", "simtime.shard.d00.blocked_ns",
+		"simtime.shard.d00.idle_ns", "simtime.shard.now_ns",
+		fmt.Sprintf("simtime.shard.d%02d.busy_ns", domains-1),
+	} {
+		if _, ok := snap.Gauge(name); !ok {
+			t.Errorf("gauge %s missing from snapshot", name)
+		}
+	}
+	if g, _ := snap.Gauge("simtime.shard.now_ns"); g.Value <= 0 {
+		t.Errorf("live sim clock gauge = %d, want > 0", g.Value)
+	}
+	occ := snap.Hist("simtime.shard.window_events")
+	if occ == nil || occ.Count != uint64(domains)*ss.Windows() {
+		t.Fatalf("occupancy histogram count = %+v, want %d samples", occ, uint64(domains)*ss.Windows())
+	}
+
+	var windows, waits uint64
+	var flightEvents uint64
+	for _, e := range flight.Events() {
+		switch e.Kind {
+		case obs.FlightWindow:
+			windows++
+			flightEvents += uint64(e.Arg)
+			if e.Dom < 0 || int(e.Dom) >= domains {
+				t.Fatalf("window event on bogus domain %d", e.Dom)
+			}
+			if e.Sim < 0 {
+				t.Fatalf("window event missing sim time")
+			}
+		case obs.FlightBarrierWait:
+			waits++
+		}
+	}
+	if windows == 0 {
+		t.Fatal("no window events in the flight recorder")
+	}
+	if flight.Dropped() == 0 && flightEvents != ss.Processed() {
+		t.Fatalf("flight window events account for %d events, Processed %d", flightEvents, ss.Processed())
+	}
+	_ = waits // stalls may legitimately round to zero on a fast box
+}
+
+// TestShardedAttributionOffByDefault pins the zero-cost contract: an
+// uninstrumented coordinator tracks nothing.
+func TestShardedAttributionOffByDefault(t *testing.T) {
+	ss, _ := buildDigestPingPong(t, 3, 1000, 50_000, 7)
+	defer ss.Close()
+	ss.Run()
+	if ss.Attribution() != nil {
+		t.Fatal("attribution tracked without Instrument")
+	}
+}
+
+// TestShardedInstrumentedRunIsByteIdentical extends the determinism
+// contract to the full observability plane: the same model with
+// attribution + flight recording on, run parallel, digests identically
+// to the bare serial run.
+func TestShardedInstrumentedRunIsByteIdentical(t *testing.T) {
+	const domains, lookahead, horizon, seed = 5, Time(1000), Time(200_000), int64(99)
+	bare, bareDig := buildDigestPingPong(t, domains, lookahead, horizon, seed)
+	defer bare.Close()
+	bare.Run()
+
+	reg := obs.NewRegistry()
+	reg.EnableFlight(1 << 12)
+	inst, instDig := buildDigestPingPong(t, domains, lookahead, horizon, seed)
+	defer inst.Close()
+	inst.Instrument(reg)
+	inst.SetWorkers(domains)
+	inst.Run()
+
+	for i := range bareDig {
+		if *bareDig[i] != *instDig[i] {
+			t.Fatalf("domain %d digest differs with observability on: %x vs %x", i, *bareDig[i], *instDig[i])
+		}
+	}
+	if bare.Processed() != inst.Processed() || bare.Windows() != inst.Windows() {
+		t.Fatalf("processed/windows differ: %d/%d vs %d/%d",
+			bare.Processed(), bare.Windows(), inst.Processed(), inst.Windows())
+	}
+}
