@@ -20,6 +20,16 @@
 // exactly 0 allocs/op — the contract that lets nil-receiver
 // instrumentation live permanently in simulation hot paths.
 //
+// With -gate-allocs REGEX, matching benchmarks gate on allocs/op growth
+// instead of throughput: current allocs/op must stay within
+// baseline*(1+max-allocs-grow-pct/100). This is the right dimension for
+// syscall-bound paths (idsevald's fsync-per-chunk ingest,
+// BENCH_serve.json) whose MB/s swings several-fold with host IO and CPU
+// contention while their allocation profile is deterministic — the
+// regression the gate is after (an accidental copy or buffer per chunk)
+// shows up in allocs/op exactly; throughput is still printed for the
+// record.
+//
 // With -speedup-num/-speedup-den/-min-speedup the gate additionally
 // checks parallel scaling: the events/sec ratio between two benchmarks
 // in the CURRENT run (e.g. BenchmarkShardedScaleShards4 over
@@ -132,6 +142,8 @@ func main() {
 	maxNsGrow := flag.Float64("max-ns-grow-pct", 100, "maximum allowed ns/op growth for -gate-ns benchmarks, percent")
 	nsSlack := flag.Float64("ns-slack-ns", 2, "absolute ns/op slack added to the -gate-ns bound (sub-ns baselines are noise-dominated)")
 	zeroAllocs := flag.String("require-zero-allocs", "", "regexp of benchmarks that must report 0 allocs/op in the current run")
+	gateAllocs := flag.String("gate-allocs", "", "regexp of benchmarks to gate on allocs/op growth instead of throughput")
+	maxAllocsGrow := flag.Float64("max-allocs-grow-pct", 10, "maximum allowed allocs/op growth for -gate-allocs benchmarks, percent")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -160,6 +172,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var gateAllocsRe *regexp.Regexp
+	if *gateAllocs != "" {
+		gateAllocsRe, err = regexp.Compile(*gateAllocs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: -gate-allocs: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	failed := false
 	names := make([]string, 0, len(base))
@@ -178,6 +198,23 @@ func main() {
 		if !ok {
 			fmt.Printf("MISSING  %-34s baseline %8.2f MB/s, absent from current run\n", name, b.mbps)
 			failed = true
+			continue
+		}
+		if gateAllocsRe != nil && gateAllocsRe.MatchString(name) {
+			switch {
+			case !b.hasAllocs || !c.hasAllocs:
+				fmt.Printf("ALLOCS   %-34s allocs/op missing (capture both runs with -benchmem)\n", name)
+				failed = true
+			default:
+				limit := b.allocs * (1 + *maxAllocsGrow/100)
+				status := "ok"
+				if c.allocs > limit {
+					status = "REGRESSED"
+					failed = true
+				}
+				fmt.Printf("%-8s %-34s %12g -> %12g allocs/op (limit %g; %.2f MB/s not gated)\n",
+					status, name, b.allocs, c.allocs, limit, c.mbps)
+			}
 			continue
 		}
 		baseThru, curThru, unit := b.mbps, c.mbps, "MB/s"

@@ -1,0 +1,338 @@
+// Command chaossmoke is the CI crash-tolerance smoke for idsevald. It
+// proves the daemon's central promise — kill -9 at the worst moment
+// loses nothing — the way an operator would experience it:
+//
+//  1. Generate a labeled IDT2 trace with the trafficgen binary.
+//  2. Reference run: start idsevald, stream the trace over TCP, and
+//     keep the scorecard from an uninterrupted evaluation.
+//  3. Chaos run: start a fresh idsevald, stream half the chunks, then
+//     SIGKILL the daemon mid-stream (no drain, no warning).
+//  4. Restart idsevald on the same directory. The Hello ack must report
+//     a durable resume point covering every acked chunk; upload resumes
+//     from there — acked work is never re-sent.
+//  5. The resumed evaluation's scorecard must be byte-identical to the
+//     reference, and the final ledger must satisfy the exact-accounting
+//     invariant.
+//
+// Finally the surviving daemon is drained with SIGTERM and must exit 0.
+//
+// Usage:
+//
+//	chaossmoke -bin path/to/idsevald -gen path/to/trafficgen -dir /tmp/chaos
+//
+// The directory is removed and recreated; the binaries are built by the
+// Makefile's chaossmoke target. Pure Go — no shell plumbing.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// listenPrefix is the stderr line idsevald prints once its frame
+// listener is bound; the address follows (needed because -tcp uses :0).
+const listenPrefix = "idsevald: tcp listening on "
+
+// chunkSize splits the trace so a half-upload leaves a meaningful
+// resume point (the generated trace is a few hundred KiB).
+const chunkSize = 32 << 10
+
+// streamName is deliberately identical across the reference and chaos
+// runs: the scorecard must depend only on the trace and the evaluation
+// parameters, never on which directory or daemon produced it.
+const streamName = "chaos"
+
+var meta = serve.StreamMeta{
+	Name:        streamName,
+	Seed:        7,
+	Quick:       true,
+	Products:    []string{"TrueSecure", "StreamHunter"},
+	Sensitivity: 0.6,
+}
+
+func main() {
+	bin := flag.String("bin", "", "idsevald binary to drive (required)")
+	gen := flag.String("gen", "", "trafficgen binary for the input trace (required)")
+	dir := flag.String("dir", "", "scratch directory (required; removed and recreated)")
+	flag.Parse()
+	if *bin == "" || *gen == "" || *dir == "" {
+		fatal(fmt.Errorf("-bin, -gen, and -dir are required"))
+	}
+
+	if err := os.RemoveAll(*dir); err != nil {
+		fatal(err)
+	}
+	tracePath := filepath.Join(*dir, "input.idt2")
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if out, err := exec.Command(*gen, "-o", tracePath, "-seconds", "15", "-pps", "40",
+		"-seed", "11").CombinedOutput(); err != nil {
+		fatal(fmt.Errorf("trafficgen: %w\n%s", err, out))
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	chunks := split(data, chunkSize)
+	fmt.Printf("chaossmoke: trace %d bytes in %d chunks\n", len(data), len(chunks))
+	if len(chunks) < 4 {
+		fatal(fmt.Errorf("trace too small for a meaningful mid-stream kill (%d chunks)", len(chunks)))
+	}
+
+	// Reference: one uninterrupted daemon lifetime.
+	ref := startDaemon(*bin, filepath.Join(*dir, "ref"))
+	refCard := upload(ref.addr, chunks, 0)
+	ref.drain()
+	fmt.Printf("chaossmoke: reference scorecard %d bytes\n", len(refCard))
+
+	// Chaos: half the chunks, then SIGKILL — the daemon gets no chance
+	// to flush, drain, or say goodbye.
+	chaosDir := filepath.Join(*dir, "chaos")
+	d := startDaemon(*bin, chaosDir)
+	half := len(chunks) / 2
+	c, err := serve.Dial(d.addr)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.Hello(meta); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < half; i++ {
+		if err := c.SendChunkRetry(chunks[i], 5, 100*time.Millisecond); err != nil {
+			fatal(fmt.Errorf("chunk %d: %w", i, err))
+		}
+	}
+	c.Close()
+	if err := d.cmd.Process.Kill(); err != nil {
+		fatal(fmt.Errorf("SIGKILL: %w", err))
+	}
+	if _, err := awaitExit(d.cmd, 10*time.Second); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("chaossmoke: SIGKILL after %d/%d chunks\n", half, len(chunks))
+
+	// Restart on the same directory: Hello must hand back a durable
+	// resume point covering everything that was acked.
+	d = startDaemon(*bin, chaosDir)
+	c, err = serve.Dial(d.addr)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.Hello(meta); err != nil {
+		fatal(err)
+	}
+	if c.State != serve.StateOpen {
+		fatal(fmt.Errorf("resumed stream state %q, want %q", c.State, serve.StateOpen))
+	}
+	if int(c.Next) != half {
+		fatal(fmt.Errorf("resume point %d, want %d — an acked chunk was lost or re-requested", c.Next, half))
+	}
+	fmt.Printf("chaossmoke: restart resumes at chunk %d — acked work survived kill -9\n", c.Next)
+	var sent int64
+	for i := 0; i < int(c.Next); i++ {
+		sent += int64(len(chunks[i]))
+	}
+	for i := int(c.Next); i < len(chunks); i++ {
+		if err := c.SendChunkRetry(chunks[i], 5, 100*time.Millisecond); err != nil {
+			fatal(fmt.Errorf("resumed chunk %d: %w", i, err))
+		}
+		sent += int64(len(chunks[i]))
+	}
+	if err := c.FinishRetry(uint64(len(chunks)), sent, 5, 100*time.Millisecond); err != nil {
+		fatal(err)
+	}
+	results := 0
+	chaosCard, err := c.Await(3*time.Minute, func(kind serve.EventKind, _ []byte) {
+		if kind == serve.EventResult {
+			results++
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	c.Close()
+	fmt.Printf("chaossmoke: resumed evaluation streamed %d incremental results\n", results)
+
+	if !bytes.Equal(chaosCard, refCard) {
+		fatal(fmt.Errorf("scorecard after kill -9 + resume differs from uninterrupted run:\n--- reference ---\n%s\n--- chaos ---\n%s",
+			refCard, chaosCard))
+	}
+	ledger := d.drain()
+	fmt.Printf("chaossmoke: final ledger %s\n", ledger)
+	fmt.Println("chaossmoke: ok — scorecard byte-identical across SIGKILL, restart, and resume")
+}
+
+// upload streams chunks[from:] on a fresh connection and returns the
+// scorecard.
+func upload(addr string, chunks [][]byte, from int) []byte {
+	c, err := serve.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	if err := c.Hello(meta); err != nil {
+		fatal(err)
+	}
+	var sent int64
+	for i := from; i < len(chunks); i++ {
+		if err := c.SendChunkRetry(chunks[i], 5, 100*time.Millisecond); err != nil {
+			fatal(fmt.Errorf("chunk %d: %w", i, err))
+		}
+		sent += int64(len(chunks[i]))
+	}
+	if err := c.FinishRetry(uint64(len(chunks)), sent, 5, 100*time.Millisecond); err != nil {
+		fatal(err)
+	}
+	card, err := c.Await(3*time.Minute, nil)
+	if err != nil {
+		fatal(err)
+	}
+	return card
+}
+
+func split(data []byte, size int) [][]byte {
+	var chunks [][]byte
+	for len(data) > 0 {
+		n := size
+		if n > len(data) {
+			n = len(data)
+		}
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks
+}
+
+// daemon is one idsevald process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *stderrSink
+}
+
+// startDaemon launches idsevald on dir and waits for its frame listener.
+// Stderr goes through a Writer sink rather than StderrPipe: exec.Wait
+// flushes a Writer completely before returning, so the post-exit drain
+// lines (the ledger audit) are never raced away.
+func startDaemon(bin, dir string) *daemon {
+	cmd := exec.Command(bin, "-dir", dir, "-tcp", "127.0.0.1:0", "-stall-timeout", "-1s")
+	sink := newStderrSink()
+	cmd.Stderr = sink
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	addr, err := sink.awaitListenAddr(30 * time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		fatal(err)
+	}
+	return &daemon{cmd: cmd, addr: addr, stderr: sink}
+}
+
+// drain SIGTERMs the daemon, requires a clean exit, and returns the
+// ledger audit line it printed on the way out.
+func (d *daemon) drain() string {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatal(fmt.Errorf("SIGTERM: %w", err))
+	}
+	code, err := awaitExit(d.cmd, 30*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	if code != 0 {
+		fatal(fmt.Errorf("idsevald exited %d after SIGTERM; stderr tail:\n%s", code, d.stderr.String()))
+	}
+	for _, line := range strings.Split(d.stderr.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "idsevald: ledger "); ok {
+			return rest
+		}
+	}
+	fatal(fmt.Errorf("no ledger line in drain output:\n%s", d.stderr.String()))
+	return ""
+}
+
+// stderrSink accumulates a daemon's stderr and watches the byte stream
+// for the listening line as it arrives.
+type stderrSink struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	scanned int // buf prefix already scanned for the listen line
+	found   chan string
+	once    sync.Once
+}
+
+func newStderrSink() *stderrSink {
+	return &stderrSink{found: make(chan string, 1)}
+}
+
+// Write implements io.Writer for cmd.Stderr.
+func (s *stderrSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Write(p)
+	// Scan any newly completed lines for the listen address.
+	data := s.buf.Bytes()
+	for {
+		nl := bytes.IndexByte(data[s.scanned:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := string(data[s.scanned : s.scanned+nl])
+		s.scanned += nl + 1
+		if addr, ok := strings.CutPrefix(line, listenPrefix); ok {
+			s.once.Do(func() { s.found <- addr })
+		}
+	}
+	return len(p), nil
+}
+
+func (s *stderrSink) awaitListenAddr(timeout time.Duration) (string, error) {
+	select {
+	case addr := <-s.found:
+		return addr, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("no %q line within %v; stderr so far:\n%s",
+			listenPrefix, timeout, s.String())
+	}
+}
+
+func (s *stderrSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+// awaitExit waits for the process with a deadline, returning its exit
+// code.
+func awaitExit(cmd *exec.Cmd, timeout time.Duration) (int, error) {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0, nil
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), nil
+		}
+		return -1, err
+	case <-time.After(timeout):
+		return -1, fmt.Errorf("idsevald did not exit within %v", timeout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaossmoke:", err)
+	os.Exit(1)
+}

@@ -49,6 +49,18 @@ type Runner struct {
 	// Log, when set, receives one progress line per experiment verdict
 	// (stderr in the CLI). Never part of the report.
 	Log io.Writer
+	// OnCommit, when set, is called after an experiment's result file
+	// and journal line are both durably on disk — the commit point. The
+	// daemon streams incremental results to subscribers from here.
+	// Called from worker goroutines; must be safe for concurrent use.
+	// It observes only: the result is already committed, and the report
+	// stays byte-identical with or without the hook.
+	OnCommit func(ex Experiment, res *Result)
+	// OnEvalSnapshot, when set, arms per-product telemetry on KindEval
+	// experiments and receives each product's final registry snapshot —
+	// the daemon's live /metrics feed for matrix evaluations. Must be
+	// safe for concurrent use.
+	OnEvalSnapshot func(product string, snap *obs.Snapshot)
 
 	// crashAfter simulates a hard crash (no drain, no further
 	// journaling) after N journal appends — the resume tests' kill
@@ -325,6 +337,9 @@ func (r *Runner) runOne(ctx context.Context, ex Experiment) (bool, int, error) {
 			}
 			r.count("campaign.completed", 1)
 			r.track(func(p *Progress) { p.Completed++ })
+			if r.OnCommit != nil {
+				r.OnCommit(ex, res)
+			}
 			r.flight().RecordSpan(obs.FlightExperimentDone, -1, start, elapsed, -1, int64(attempt), ex.ID)
 			r.logf("  done  %-40s (attempt %d, %v)", ex.ID, attempt, elapsed.Round(time.Millisecond))
 			return true, retries, nil

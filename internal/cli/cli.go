@@ -16,22 +16,72 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 )
 
+// Test seams: the hard-exit path must be observable without killing
+// the test process.
+var (
+	exit                  = os.Exit
+	hardExitLog io.Writer = os.Stderr
+)
+
 // Context returns the root context for a command: cancelled on SIGINT
-// or SIGTERM, and additionally bounded by timeout when positive. The
-// returned stop func releases the signal handler, so a second Ctrl-C
-// after the first falls through to the runtime's default (immediate)
-// handling — the escape hatch when a drain itself wedges.
+// or SIGTERM, and additionally bounded by timeout when positive. Both
+// signals route through the same graceful-drain path — the simulation
+// kernel polls the context at its interrupt stride, so a SIGTERM from
+// an init system drains exactly like an operator's Ctrl-C.
+//
+// A second SIGINT/SIGTERM while the drain is in progress is the escape
+// hatch: the process prints one line and hard-exits with the
+// conventional 128+signum code, because a drain that itself wedged
+// must never make the process unkillable short of SIGKILL.
 func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if timeout > 0 {
-		tctx, cancel := context.WithTimeout(ctx, timeout)
-		return tctx, func() { cancel(); stop() }
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
 	}
+
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+		cancel()
+	}
+
+	go func() {
+		select {
+		case <-ch:
+			cancel() // first signal: graceful drain
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(hardExitLog, "\nsecond %v — hard exit without drain\n", sig)
+			exit(hardExitCode(sig))
+		case <-done:
+		}
+	}()
 	return ctx, stop
+}
+
+// hardExitCode maps a fatal signal to the shell convention 128+signum.
+func hardExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
 }
 
 // Interrupted reports whether err stems from cancellation — Ctrl-C,

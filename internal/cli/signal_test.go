@@ -1,0 +1,111 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// sendSignal delivers sig to this process.
+func sendSignal(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), sig); err != nil {
+		t.Fatalf("kill(%v): %v", sig, err)
+	}
+}
+
+// awaitDone waits for a context-done channel with a test deadline.
+func awaitDone(t *testing.T, ch <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s not observed within 5s", what)
+	}
+}
+
+func TestSigtermTriggersGracefulDrain(t *testing.T) {
+	ctx, stop := Context(0)
+	defer stop()
+	sendSignal(t, syscall.SIGTERM)
+	awaitDone(t, ctx.Done(), "SIGTERM cancellation")
+	if !Interrupted(ctx.Err()) {
+		t.Fatalf("ctx.Err() = %v, want an interruption", ctx.Err())
+	}
+}
+
+func TestSigintTriggersGracefulDrain(t *testing.T) {
+	ctx, stop := Context(0)
+	defer stop()
+	sendSignal(t, syscall.SIGINT)
+	awaitDone(t, ctx.Done(), "SIGINT cancellation")
+}
+
+func TestSecondSignalHardExits(t *testing.T) {
+	var mu sync.Mutex
+	var log bytes.Buffer
+	code := -1
+	exited := make(chan struct{})
+	oldExit, oldLog := exit, hardExitLog
+	exit = func(c int) {
+		mu.Lock()
+		code = c
+		mu.Unlock()
+		close(exited)
+	}
+	hardExitLog = &log
+	defer func() { exit = oldExit; hardExitLog = oldLog }()
+
+	ctx, stop := Context(0)
+	defer stop()
+	sendSignal(t, syscall.SIGTERM)
+	awaitDone(t, ctx.Done(), "first-signal cancellation")
+	sendSignal(t, syscall.SIGTERM)
+	awaitDone(t, exited, "second-signal hard exit")
+
+	mu.Lock()
+	defer mu.Unlock()
+	if want := 128 + int(syscall.SIGTERM); code != want {
+		t.Fatalf("hard exit code = %d, want %d", code, want)
+	}
+	if !strings.Contains(log.String(), "hard exit without drain") {
+		t.Fatalf("hard-exit line missing from log: %q", log.String())
+	}
+}
+
+func TestStopReleasesSignalHandler(t *testing.T) {
+	// After stop, the goroutine must be gone and a later signal must not
+	// reach the swapped-in exit hook.
+	fired := make(chan int, 1)
+	oldExit := exit
+	exit = func(c int) { fired <- c }
+	defer func() { exit = oldExit }()
+
+	_, stop := Context(0)
+	stop()
+	// Signals now fall through to the runtime default; SIGTERM would
+	// kill the test, so verify indirectly: a fresh Context still works
+	// (no stale registration swallowing its signals).
+	ctx2, stop2 := Context(0)
+	defer stop2()
+	sendSignal(t, syscall.SIGTERM)
+	awaitDone(t, ctx2.Done(), "fresh context cancellation after stop")
+	select {
+	case c := <-fired:
+		t.Fatalf("stopped context's exit hook fired with %d", c)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestContextTimeoutStillApplies(t *testing.T) {
+	ctx, stop := Context(20 * time.Millisecond)
+	defer stop()
+	awaitDone(t, ctx.Done(), "timeout expiry")
+	if !Interrupted(ctx.Err()) {
+		t.Fatalf("ctx.Err() = %v, want deadline", ctx.Err())
+	}
+}

@@ -1,0 +1,76 @@
+package httpexport
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestHealthzStates is the /healthz conformance test: the three states
+// map to fixed bodies and status codes — 200 for ok and degraded (a
+// busy daemon must not be killed by its liveness probe), 503 exactly
+// when draining (so load balancers stop routing). A nil Health closure
+// is always ok.
+func TestHealthzStates(t *testing.T) {
+	state := HealthOK
+	h, err := NewHandler(Config{
+		Snapshot: func() *obs.Snapshot { return nil },
+		Health:   func() string { return state },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	cases := []struct {
+		state string
+		code  int
+	}{
+		{HealthOK, 200},
+		{HealthDegraded, 200},
+		{HealthDraining, 503},
+		{HealthOK, 200}, // recovers after draining-capable probe
+	}
+	for _, tc := range cases {
+		state = tc.state
+		code, body := get(t, srv.URL+"/healthz")
+		if code != tc.code || body != tc.state+"\n" {
+			t.Fatalf("state %q: got %d %q, want %d %q", tc.state, code, body, tc.code, tc.state+"\n")
+		}
+	}
+}
+
+func TestHealthzDefaultsToOK(t *testing.T) {
+	h, err := NewHandler(Config{Snapshot: func() *obs.Snapshot { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if code, body := get(t, srv.URL+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 \"ok\\n\"", code, body)
+	}
+}
+
+func TestHandlerMountableUnderHostMux(t *testing.T) {
+	// idsevald mounts the obs plane on its own mux next to the ingest
+	// routes; the handler must work when it is not the root handler.
+	reg := obs.NewRegistry()
+	reg.Counter("serve.chunks.delivered").Add(2)
+	h, err := NewHandler(Config{Snapshot: reg.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if want := "serve_chunks_delivered 2"; !strings.Contains(body, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, body)
+	}
+}

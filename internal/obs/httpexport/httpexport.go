@@ -2,7 +2,7 @@
 // read-only window into a running evaluation. It exposes
 //
 //	/metrics        Prometheus text rendered from a registry snapshot
-//	/healthz        liveness probe ("ok")
+//	/healthz        health probe: "ok", "degraded", or "draining"
 //	/progress       JSON progress (campaign counts, running experiment
 //	                IDs, sim-vs-wall rates — whatever the host wires)
 //	/trace          Chrome trace_event JSON of the flight recorder
@@ -18,7 +18,9 @@
 // Start binds the listener synchronously (so `-listen 127.0.0.1:0`
 // reports the kernel-chosen port immediately) and serves in the
 // background; Shutdown drains gracefully and is wired to the
-// signal-aware contexts from internal/cli by the flag helper.
+// signal-aware contexts from internal/cli by the flag helper. Hosts
+// that already run an HTTP server (idsevald's ingest plane) mount a
+// NewHandler on their own mux instead.
 package httpexport
 
 import (
@@ -36,10 +38,27 @@ import (
 	"repro/internal/obs"
 )
 
-// Config wires a Server to its host process. Snapshot is required;
-// everything else is optional.
+// Health states reported by /healthz. Anything else a Health closure
+// returns is passed through verbatim with a 200, but the probe's
+// status-code contract — 503 exactly when draining — only holds for
+// these three.
+const (
+	// HealthOK: accepting work, no pressure.
+	HealthOK = "ok"
+	// HealthDegraded: still accepting, but shedding or saturated —
+	// queues full, recent load shed, or at the admission ceiling.
+	// Serves 200 so orchestrators don't kill a daemon for being busy.
+	HealthDegraded = "degraded"
+	// HealthDraining: shutting down, rejecting new work. Serves 503 so
+	// load balancers stop routing to it.
+	HealthDraining = "draining"
+)
+
+// Config wires a Server (or Handler) to its host process. Snapshot is
+// required; everything else is optional.
 type Config struct {
 	// Addr is the listen address ("127.0.0.1:9090"; ":0" picks a port).
+	// Ignored by NewHandler.
 	Addr string
 	// Snapshot captures the current telemetry state. Called at most once
 	// per SnapshotTTL regardless of scrape rate.
@@ -50,54 +69,78 @@ type Config struct {
 	// Flight returns the flight recorder rendered at /trace. Nil (or a
 	// func returning nil) means /trace serves an empty valid trace.
 	Flight func() *obs.FlightRecorder
+	// Health reports the current service state for /healthz: HealthOK,
+	// HealthDegraded, or HealthDraining. Nil means always ok.
+	Health func() string
 	// SnapshotTTL bounds how often Snapshot runs; <= 0 defaults to 1s.
 	SnapshotTTL time.Duration
 	// Log receives one "listening on ..." line; nil discards it.
 	Log io.Writer
 }
 
-// Server is a running observability endpoint.
-type Server struct {
+// Handler is the observability plane as a mountable http.Handler, for
+// hosts that run their own server alongside it.
+type Handler struct {
 	cfg Config
-	ln  net.Listener
-	srv *http.Server
+	mux *http.ServeMux
 
 	mu       sync.Mutex
 	lastSnap *obs.Snapshot
 	lastAt   time.Time
-
-	done chan struct{}
-	err  error
 }
 
-// Start binds cfg.Addr and begins serving. The listener is bound
-// before Start returns, so Addr() is immediately valid.
-func Start(cfg Config) (*Server, error) {
+// NewHandler builds the observability handler from cfg (Addr and Log
+// are ignored here — they belong to Start).
+func NewHandler(cfg Config) (*Handler, error) {
 	if cfg.Snapshot == nil {
 		return nil, errors.New("httpexport: Config.Snapshot is required")
 	}
 	if cfg.SnapshotTTL <= 0 {
 		cfg.SnapshotTTL = time.Second
 	}
+	h := &Handler{cfg: cfg, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	h.mux.HandleFunc("/progress", h.handleProgress)
+	h.mux.HandleFunc("/trace", h.handleTrace)
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	h   *Handler
+	ln  net.Listener
+	srv *http.Server
+
+	done chan struct{}
+	err  error
+	mu   sync.Mutex
+}
+
+// Start binds cfg.Addr and begins serving. The listener is bound
+// before Start returns, so Addr() is immediately valid.
+func Start(cfg Config) (*Server, error) {
+	h, err := NewHandler(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpexport: listen %s: %w", cfg.Addr, err)
 	}
-	s := &Server{cfg: cfg, ln: ln, done: make(chan struct{})}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/trace", s.handleTrace)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
+	s := &Server{h: h, ln: ln, done: make(chan struct{})}
 	s.srv = &http.Server{
-		Handler:           mux,
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -135,23 +178,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // snapshot returns the cached snapshot, refreshing it when older than
 // the TTL. Scrapers therefore cost the run at most one Snapshot per
 // TTL, no matter how hard they poll.
-func (s *Server) snapshot() *obs.Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lastSnap == nil || time.Since(s.lastAt) >= s.cfg.SnapshotTTL {
-		s.lastSnap = s.cfg.Snapshot()
-		s.lastAt = time.Now()
+func (h *Handler) snapshot() *obs.Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastSnap == nil || time.Since(h.lastAt) >= h.cfg.SnapshotTTL {
+		h.lastSnap = h.cfg.Snapshot()
+		h.lastAt = time.Now()
 	}
-	return s.lastSnap
+	return h.lastSnap
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	state := HealthOK
+	if h.cfg.Health != nil {
+		state = h.cfg.Health()
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	if state == HealthDraining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	io.WriteString(w, state+"\n")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snap := s.snapshot()
+func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := h.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if snap == nil {
 		return
@@ -163,23 +213,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Progress == nil {
+func (h *Handler) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Progress == nil {
 		http.NotFound(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.cfg.Progress()); err != nil {
+	if err := enc.Encode(h.cfg.Progress()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
-func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	var f *obs.FlightRecorder
-	if s.cfg.Flight != nil {
-		f = s.cfg.Flight()
+	if h.cfg.Flight != nil {
+		f = h.cfg.Flight()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = f.WriteChromeTrace(w) // nil-safe: emits an empty valid trace

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// httpChunk is the fixed chunking the HTTP adapter applies to uploaded
+// bodies. Fixed size makes HTTP resume deterministic: a retried POST
+// skips Next×httpChunk bytes of its body and continues where the acked
+// prefix ended.
+const httpChunk = 1 << 20
+
+// HTTPHandler returns the daemon's HTTP surface:
+//
+//	POST /v1/streams/{name}?seed=&quick=&products=&evals=&sensitivity=
+//	    Upload a whole IDT2 trace as the request body. Chunked and
+//	    acked server-side; on backpressure responds 429 with a
+//	    Retry-After header and the durable prefix is kept, so a
+//	    retried POST resumes instead of restarting. By default the
+//	    response waits for the evaluation and returns the scorecard
+//	    text; ?nowait=1 returns 202 with the stream status instead.
+//	GET  /v1/streams                 — all stream statuses (JSON)
+//	GET  /v1/streams/{name}          — one stream status (JSON)
+//	GET  /v1/streams/{name}/scorecard — the rendered scorecard (text)
+//
+// Unmatched paths fall through to next (the observability plane:
+// /healthz, /metrics, /progress, pprof). next may be nil.
+func (s *Service) HTTPHandler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/streams", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResp(w, http.StatusOK, s.Streams())
+	})
+	mux.HandleFunc("/v1/streams/", s.handleStream)
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}
+
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
+	name, sub, _ := strings.Cut(rest, "/")
+	switch {
+	case r.Method == http.MethodGet && sub == "scorecard":
+		card, err := s.Scorecard(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(card)
+	case r.Method == http.MethodGet && sub == "":
+		status, ok := s.Status(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown stream %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSONResp(w, http.StatusOK, status)
+	case r.Method == http.MethodPost && sub == "":
+		s.handleIngest(w, r, name)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+// handleIngest streams the request body into the named stream.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, name string) {
+	meta, err := metaFromQuery(name, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	info, err := s.Hello(meta)
+	if err != nil {
+		httpServeError(w, err)
+		return
+	}
+	if info.State == StateOpen {
+		// Skip the body prefix the server already holds (fixed-size
+		// chunking makes the offset exact), then chunk the remainder.
+		if info.Next > 0 {
+			if _, err := io.CopyN(io.Discard, r.Body, int64(info.Next)*httpChunk); err != nil {
+				http.Error(w, fmt.Sprintf("body shorter than acked prefix (%d chunks): %v", info.Next, err),
+					http.StatusBadRequest)
+				return
+			}
+		}
+		ord := info.Next
+		buf := make([]byte, httpChunk)
+		for {
+			n, rerr := io.ReadFull(r.Body, buf)
+			if n > 0 {
+				if _, aerr := s.Accept(name, ord, buf[:n]); aerr != nil {
+					httpServeError(w, aerr)
+					return
+				}
+				ord++
+			}
+			if rerr != nil {
+				if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+					break
+				}
+				http.Error(w, rerr.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		st, ok := s.Status(name)
+		if !ok {
+			http.Error(w, "stream vanished during upload", http.StatusInternalServerError)
+			return
+		}
+		if err := s.Finish(name, st.Chunks, st.Bytes); err != nil {
+			httpServeError(w, err)
+			return
+		}
+	}
+
+	if r.URL.Query().Get("nowait") != "" {
+		status, _ := s.Status(name)
+		writeJSONResp(w, http.StatusAccepted, status)
+		return
+	}
+	card, err := s.awaitScorecard(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(card)
+}
+
+// awaitScorecard blocks on the stream's result feed until it
+// terminates.
+func (s *Service) awaitScorecard(name string) ([]byte, error) {
+	history, ch, cancel, err := s.Subscribe(name)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	var card []byte
+	consume := func(ev Event) (done bool, err error) {
+		switch ev.Kind {
+		case EventScorecard:
+			card = append([]byte(nil), ev.Payload...)
+		case EventComplete:
+			if card == nil {
+				return true, fmt.Errorf("stream %s completed without a scorecard", name)
+			}
+			return true, nil
+		case EventFailed:
+			return true, fmt.Errorf("stream %s: %s", name, ev.Payload)
+		}
+		return false, nil
+	}
+	for _, ev := range history {
+		if done, err := consume(ev); done {
+			return card, err
+		}
+	}
+	if ch == nil {
+		return nil, fmt.Errorf("stream %s feed ended without a terminal event", name)
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return nil, fmt.Errorf("stream %s feed interrupted; retry", name)
+			}
+			if done, err := consume(ev); done {
+				return card, err
+			}
+		case <-s.runCtx.Done():
+			return nil, fmt.Errorf("server shutting down; stream %s resumes after restart", name)
+		}
+	}
+}
+
+// metaFromQuery builds a StreamMeta from the POST query parameters.
+func metaFromQuery(name string, r *http.Request) (StreamMeta, error) {
+	q := r.URL.Query()
+	meta := StreamMeta{Name: name}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return meta, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		meta.Seed = seed
+	}
+	if v := q.Get("sensitivity"); v != "" {
+		sens, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return meta, fmt.Errorf("bad sensitivity %q: %v", v, err)
+		}
+		meta.Sensitivity = sens
+	}
+	meta.Quick = q.Get("quick") != ""
+	meta.Evals = q.Get("evals") != ""
+	if v := q.Get("products"); v != "" {
+		meta.Products = strings.Split(v, ",")
+	}
+	return meta, nil
+}
+
+// httpServeError maps service errors onto HTTP: backpressure rejects
+// become 429 with a Retry-After header (in whole seconds, rounded up),
+// protocol violations 400, the rest 500.
+func httpServeError(w http.ResponseWriter, err error) {
+	var re *RejectError
+	var pe *ProtocolError
+	switch {
+	case errors.As(err, &re):
+		secs := int64((re.RetryAfter + 999999999) / 1000000000)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		http.Error(w, re.Reason, http.StatusTooManyRequests)
+	case errors.As(err, &pe):
+		http.Error(w, pe.Msg, http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSONResp(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

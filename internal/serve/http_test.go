@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/httpexport"
+	"repro/internal/serve"
+)
+
+// TestHTTPIngestAndObservabilityPlane drives the daemon's whole HTTP
+// surface: a POST upload that waits for the scorecard, status and
+// scorecard GETs, and the observability fall-through (/healthz wired to
+// Service.Health, /metrics showing the serve.* family).
+func TestHTTPIngestAndObservabilityPlane(t *testing.T) {
+	data := buildTraceBytes(t, 31)
+	reg := obs.NewRegistry()
+	svc := openService(t, t.TempDir(), func(c *serve.Config) {
+		c.Obs = reg
+	})
+	defer svc.Close()
+
+	obsHandler, err := httpexport.NewHandler(httpexport.Config{
+		Snapshot: svc.Snapshot,
+		Progress: svc.Progress,
+		Health:   svc.Health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.HTTPHandler(obsHandler))
+	defer srv.Close()
+	client := &http.Client{Timeout: 3 * time.Minute}
+
+	resp, err := client.Post(
+		srv.URL+"/v1/streams/http1?quick=1&seed=7&products=TrueSecure&sensitivity=0.6",
+		"application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	card, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, card)
+	}
+	if !bytes.Contains(card, []byte("TrueSecure")) {
+		t.Fatalf("POST response is not a scorecard:\n%s", card)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/v1/streams/http1"); code != 200 || !strings.Contains(body, `"state": "done"`) {
+		t.Fatalf("status GET = %d %s", code, body)
+	}
+	if code, body := get("/v1/streams/http1/scorecard"); code != 200 || body != string(card) {
+		t.Fatalf("scorecard GET = %d, differs from POST response", code)
+	}
+	if code, body := get("/v1/streams"); code != 200 || !strings.Contains(body, "http1") {
+		t.Fatalf("list GET = %d %s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "serve_chunks_delivered") {
+		t.Fatalf("/metrics = %d, missing serve_ family:\n%s", code, body)
+	}
+	if code, body := get("/progress"); code != 200 || !strings.Contains(body, `"streams"`) {
+		t.Fatalf("/progress = %d %s", code, body)
+	}
+	if code, _ := get("/v1/streams/missing"); code != http.StatusNotFound {
+		t.Fatalf("unknown stream GET = %d, want 404", code)
+	}
+}
+
+// TestHTTPRejectCarriesRetryAfter pins the backpressure contract on
+// the HTTP surface: 429 plus a whole-second Retry-After header.
+func TestHTTPRejectCarriesRetryAfter(t *testing.T) {
+	svc := openService(t, t.TempDir(), func(c *serve.Config) {
+		c.MaxStreams = 1
+		c.RetryAfter = 1500 * time.Millisecond
+	})
+	defer svc.Close()
+	if _, err := svc.Hello(serve.StreamMeta{Name: "holder", Evals: true}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.HTTPHandler(nil))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/streams/second?evals=1", "application/octet-stream",
+		bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\" (1.5s rounded up)", ra)
+	}
+}

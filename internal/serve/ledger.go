@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ShedReason classifies why accepted-but-undelivered chunks were
+// dropped. Every shed chunk lands in exactly one reason.
+type ShedReason string
+
+const (
+	// ShedIdle: the stream hit its idle deadline before finishing.
+	ShedIdle ShedReason = "idle"
+	// ShedOverload: the spool budget forced out the oldest idle stream.
+	ShedOverload ShedReason = "overload"
+	// ShedProtocol: the client violated the protocol (count mismatch,
+	// unrecoverable ack-journal corruption).
+	ShedProtocol ShedReason = "protocol"
+	// ShedCorrupt: the assembled spool failed IDT2 validation at finish.
+	ShedCorrupt ShedReason = "corrupt"
+)
+
+var shedReasons = []ShedReason{ShedIdle, ShedOverload, ShedProtocol, ShedCorrupt}
+
+// Counts is a point-in-time view of the chunk ledger.
+type Counts struct {
+	// Submitted counts every data chunk presented to the service —
+	// including chunks restored into accounting from disk at startup.
+	Submitted uint64 `json:"submitted"`
+	// Delivered chunks belong to a finished stream handed to the
+	// evaluator; delivery is the ingest contract, independent of the
+	// evaluation's later verdict.
+	Delivered uint64 `json:"delivered"`
+	// Rejected chunks were refused synchronously (backpressure,
+	// draining, protocol violation); the client was told immediately.
+	Rejected uint64 `json:"rejected"`
+	// Duplicate chunks were retransmissions of already-accepted
+	// ordinals, re-acked without spooling.
+	Duplicate uint64 `json:"duplicate"`
+	// Pending chunks are accepted and durable but their stream has not
+	// finished; they will end as delivered or shed.
+	Pending uint64 `json:"pending"`
+	// Shed chunks were accepted, then dropped with their stream.
+	Shed map[ShedReason]uint64 `json:"shed"`
+}
+
+// ShedTotal sums all shed reasons.
+func (c Counts) ShedTotal() uint64 {
+	var n uint64
+	for _, v := range c.Shed {
+		n += v
+	}
+	return n
+}
+
+// Check verifies the exact-accounting invariant: every submitted chunk
+// is in exactly one of pending, delivered, rejected, duplicate, or a
+// shed counter.
+func (c Counts) Check() error {
+	sum := c.Delivered + c.Rejected + c.Duplicate + c.Pending + c.ShedTotal()
+	if sum != c.Submitted {
+		return fmt.Errorf("serve: chunk accounting violated: submitted %d != delivered %d + rejected %d + duplicate %d + pending %d + shed %d",
+			c.Submitted, c.Delivered, c.Rejected, c.Duplicate, c.Pending, c.ShedTotal())
+	}
+	return nil
+}
+
+// Ledger is the service's exact shed-accounting book. Every state
+// transition is atomic under one mutex — a chunk is never in two
+// classes, and Counts always satisfies Check. The ledger additionally
+// mirrors itself into an obs registry (serve.chunks.*) and keeps a
+// short per-second shed window for the /healthz degraded signal.
+type Ledger struct {
+	reg *obs.Registry // nil: no telemetry
+
+	mu        sync.Mutex
+	submitted uint64
+	delivered uint64
+	rejected  uint64
+	duplicate uint64
+	pending   uint64
+	shed      map[ShedReason]uint64
+
+	// buckets is a ring of per-second shed counts for ShedRecent.
+	buckets [16]shedBucket
+}
+
+type shedBucket struct {
+	sec int64
+	n   uint64
+}
+
+func newLedger(reg *obs.Registry) *Ledger {
+	l := &Ledger{reg: reg, shed: map[ShedReason]uint64{}}
+	if reg != nil {
+		// Pre-register the full family so /metrics shows explicit zeros
+		// from the first scrape.
+		for _, name := range []string{"serve.chunks.submitted", "serve.chunks.delivered",
+			"serve.chunks.rejected", "serve.chunks.duplicate"} {
+			reg.Counter(name)
+		}
+		for _, r := range shedReasons {
+			reg.Counter("serve.chunks.shed." + string(r))
+		}
+		reg.Gauge("serve.chunks.pending")
+	}
+	return l
+}
+
+func (l *Ledger) count(name string, n uint64) {
+	if l.reg != nil && n > 0 {
+		l.reg.Counter(name).Add(n)
+	}
+}
+
+func (l *Ledger) setPendingGauge() {
+	if l.reg != nil {
+		l.reg.Gauge("serve.chunks.pending").Set(int64(l.pending))
+	}
+}
+
+// Accept books n submitted chunks directly into pending.
+func (l *Ledger) Accept(n uint64) {
+	l.mu.Lock()
+	l.submitted += n
+	l.pending += n
+	l.setPendingGauge()
+	l.mu.Unlock()
+	l.count("serve.chunks.submitted", n)
+}
+
+// Reject books n submitted chunks refused synchronously.
+func (l *Ledger) Reject(n uint64) {
+	l.mu.Lock()
+	l.submitted += n
+	l.rejected += n
+	l.mu.Unlock()
+	l.count("serve.chunks.submitted", n)
+	l.count("serve.chunks.rejected", n)
+}
+
+// Duplicate books n submitted chunks that were retransmissions.
+func (l *Ledger) Duplicate(n uint64) {
+	l.mu.Lock()
+	l.submitted += n
+	l.duplicate += n
+	l.mu.Unlock()
+	l.count("serve.chunks.submitted", n)
+	l.count("serve.chunks.duplicate", n)
+}
+
+// Deliver moves n chunks from pending to delivered (stream finished).
+func (l *Ledger) Deliver(n uint64) {
+	l.mu.Lock()
+	l.pending -= min64(n, l.pending)
+	l.delivered += n
+	l.setPendingGauge()
+	l.mu.Unlock()
+	l.count("serve.chunks.delivered", n)
+}
+
+// Shed moves n chunks from pending into the reason's shed counter and
+// stamps the degraded-signal window.
+func (l *Ledger) Shed(reason ShedReason, n uint64) {
+	now := time.Now().Unix()
+	l.mu.Lock()
+	l.pending -= min64(n, l.pending)
+	l.shed[reason] += n
+	idx := now % int64(len(l.buckets))
+	if l.buckets[idx].sec != now {
+		l.buckets[idx] = shedBucket{sec: now}
+	}
+	l.buckets[idx].n += n
+	l.setPendingGauge()
+	l.mu.Unlock()
+	l.count("serve.chunks.shed."+string(reason), n)
+}
+
+// Restore books n chunks recovered from disk at startup into class
+// (pending for an unfinished spool, delivered for a finished one, or a
+// shed reason for a tombstoned stream), keeping the invariant valid
+// across restarts.
+func (l *Ledger) Restore(n uint64, pending bool, delivered bool, reason ShedReason) {
+	l.mu.Lock()
+	l.submitted += n
+	switch {
+	case pending:
+		l.pending += n
+	case delivered:
+		l.delivered += n
+	default:
+		l.shed[reason] += n
+	}
+	l.setPendingGauge()
+	l.mu.Unlock()
+	l.count("serve.chunks.submitted", n)
+	if delivered {
+		l.count("serve.chunks.delivered", n)
+	}
+}
+
+// Counts snapshots the ledger.
+func (l *Ledger) Counts() Counts {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	shed := make(map[ShedReason]uint64, len(l.shed))
+	for k, v := range l.shed {
+		shed[k] = v
+	}
+	return Counts{
+		Submitted: l.submitted, Delivered: l.delivered, Rejected: l.rejected,
+		Duplicate: l.duplicate, Pending: l.pending, Shed: shed,
+	}
+}
+
+// ShedRecent returns how many chunks were shed within the trailing
+// window (granularity one second, window capped at the ring size).
+func (l *Ledger) ShedRecent(window time.Duration) uint64 {
+	now := time.Now().Unix()
+	floor := now - int64(window/time.Second)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n uint64
+	for _, b := range l.buckets {
+		if b.sec > floor && b.sec <= now {
+			n += b.n
+		}
+	}
+	return n
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

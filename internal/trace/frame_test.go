@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// encodeFrame builds one wire frame for tests.
+func encodeFrame(t *testing.T, typ byte, ord uint32, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.Write(typ, ord, payload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	payloads := [][]byte{
+		[]byte(`{"name":"s1"}`),
+		bytes.Repeat([]byte{0xAB}, 200_000), // forces multiple read steps
+		{},
+		[]byte("tail"),
+	}
+	types := []byte{FrameHello, FrameData, FrameFinish, FrameData}
+	for i, p := range payloads {
+		if err := fw.Write(types[i], uint32(i), p); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+
+	fr := NewFrameReader(&buf, 0)
+	for i, want := range payloads {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != types[i] || f.Ordinal != uint32(i) || !bytes.Equal(f.Payload, want) {
+			t.Fatalf("frame %d: got type=%d ord=%d len=%d", i, f.Type, f.Ordinal, len(f.Payload))
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestFrameErrorsCarryOrdinalAndOffset(t *testing.T) {
+	first := encodeFrame(t, FrameData, 7, []byte("first frame payload"))
+
+	t.Run("truncated payload", func(t *testing.T) {
+		second := encodeFrame(t, FrameData, 8, []byte("second payload, cut short"))
+		wire := append(append([]byte{}, first...), second[:len(second)-10]...)
+		fr := NewFrameReader(bytes.NewReader(wire), 0)
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("first frame: %v", err)
+		}
+		_, err := fr.Next()
+		var de *FrameDecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("want FrameDecodeError, got %v", err)
+		}
+		if de.Ordinal != 8 {
+			t.Fatalf("ordinal = %d, want 8", de.Ordinal)
+		}
+		if de.Offset != int64(len(first)) {
+			t.Fatalf("offset = %d, want %d", de.Offset, len(first))
+		}
+		if !strings.Contains(err.Error(), "frame 8 at byte") {
+			t.Fatalf("error does not surface position: %v", err)
+		}
+	})
+
+	t.Run("torn header names last good frame", func(t *testing.T) {
+		wire := append(append([]byte{}, first...), 'I', 'S') // 2 stray bytes
+		fr := NewFrameReader(bytes.NewReader(wire), 0)
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("first frame: %v", err)
+		}
+		_, err := fr.Next()
+		var de *FrameDecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("want FrameDecodeError, got %v", err)
+		}
+		if de.Ordinal != 7 || de.Offset != int64(len(first)) {
+			t.Fatalf("got ord=%d off=%d, want 7/%d", de.Ordinal, de.Offset, len(first))
+		}
+	})
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		wire := append([]byte{}, first...)
+		wire[len(wire)-1] ^= 0xFF
+		fr := NewFrameReader(bytes.NewReader(wire), 0)
+		_, err := fr.Next()
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("want checksum error, got %v", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		wire := append([]byte{}, first...)
+		wire[0] = 'X'
+		fr := NewFrameReader(bytes.NewReader(wire), 0)
+		_, err := fr.Next()
+		if err == nil || !strings.Contains(err.Error(), "bad frame magic") {
+			t.Fatalf("want magic error, got %v", err)
+		}
+	})
+}
+
+func TestFrameLengthCapRejectedWithoutAllocation(t *testing.T) {
+	// A header claiming an over-cap payload must be rejected from the
+	// header alone.
+	var hdr [frameHeaderLen]byte
+	copy(hdr[:], frameMagic)
+	hdr[4] = FrameData
+	binary.BigEndian.PutUint32(hdr[5:9], 3)
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(MaxFramePayload)+1)
+	fr := NewFrameReader(bytes.NewReader(hdr[:]), 0)
+	_, err := fr.Next()
+	if err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("want cap error, got %v", err)
+	}
+
+	// A tighter reader-side cap applies even to payloads under the
+	// global ceiling.
+	frame := encodeFrame(t, FrameData, 0, make([]byte, 2048))
+	fr = NewFrameReader(bytes.NewReader(frame), 1024)
+	if _, err := fr.Next(); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("want cap error from tight reader, got %v", err)
+	}
+}
+
+func TestFrameLyingLengthCostsOnlyReceivedBytes(t *testing.T) {
+	// Header claims 32 MiB but the connection dies after 1 KiB. The
+	// reader must fail with a truncation error having buffered at most
+	// one growth step past what actually arrived — not 32 MiB.
+	var hdr [frameHeaderLen]byte
+	copy(hdr[:], frameMagic)
+	hdr[4] = FrameData
+	binary.BigEndian.PutUint32(hdr[5:9], 1)
+	binary.BigEndian.PutUint32(hdr[9:13], 32<<20)
+	wire := append(hdr[:], make([]byte, 1024)...)
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	_, err := fr.Next()
+	if err == nil || !strings.Contains(err.Error(), "truncated frame payload") {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+	if cap(fr.buf) > 2*frameReadStep {
+		t.Fatalf("reader buffered %d bytes for a lying length; cap is %d", cap(fr.buf), 2*frameReadStep)
+	}
+}
+
+func TestFrameWriterRejectsOversizedPayload(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	err := fw.Write(FrameData, 0, make([]byte, MaxFramePayload+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}

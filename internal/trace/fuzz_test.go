@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -123,6 +124,84 @@ func FuzzReadTrace(f *testing.F) {
 					break
 				}
 				c.Release()
+			}
+		}
+	})
+}
+
+// FuzzServeFrameDecode drives the network frame decoder — the byte
+// stream idsevald trusts least — over arbitrary input. The decoder may
+// never panic, hang, or allocate past its growth-step bound; every
+// failure must be a *FrameDecodeError carrying a sane position, and
+// frames that do decode must survive a write/read round trip.
+func FuzzServeFrameDecode(f *testing.F) {
+	enc := func(typ byte, ord uint32, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := NewFrameWriter(&buf).Write(typ, ord, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	hello := enc(FrameHello, 0, []byte(`{"name":"s1","seed":7}`))
+	data := enc(FrameData, 1, bytes.Repeat([]byte{0x42}, 300))
+	finish := enc(FrameFinish, 2, []byte(`{"chunks":2,"bytes":300}`))
+	dialogue := append(append(append([]byte{}, hello...), data...), finish...)
+
+	f.Add(dialogue)
+	f.Add(hello)
+	f.Add(enc(FrameData, 0, nil)) // empty payload
+	for _, n := range []int{0, 3, 4, 5, 9, 12, 13, len(hello) - 1} {
+		if n < len(hello) {
+			f.Add(hello[:n])
+		}
+	}
+	f.Add(dialogue[:len(hello)+7]) // torn mid-second-frame
+	flip := func(b []byte, pos int) []byte {
+		m := append([]byte(nil), b...)
+		m[pos%len(m)] ^= 0xff
+		return m
+	}
+	for _, pos := range []int{0, 4, 6, 10, 15, len(hello) - 2} {
+		f.Add(flip(dialogue, pos))
+	}
+	// Length field lies: claims far more than follows.
+	lying := append([]byte(nil), data...)
+	lying[9], lying[10] = 0x03, 0xff
+	f.Add(lying)
+	f.Add([]byte("ISF2"))
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0xfb})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		fr := NewFrameReader(bytes.NewReader(in), 1<<20)
+		for {
+			frm, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var de *FrameDecodeError
+				if !errors.As(err, &de) {
+					t.Fatalf("decode error is not a FrameDecodeError: %v", err)
+				}
+				if de.Offset < 0 || de.Offset > int64(len(in)) {
+					t.Fatalf("decode error offset %d outside input of %d bytes", de.Offset, len(in))
+				}
+				break
+			}
+			if cap(fr.buf) > len(frm.Payload)+2*frameReadStep {
+				t.Fatalf("buffer cap %d far exceeds payload %d", cap(fr.buf), len(frm.Payload))
+			}
+			// Round trip: what decoded must re-encode to re-decodable bytes.
+			var buf bytes.Buffer
+			if err := NewFrameWriter(&buf).Write(frm.Type, frm.Ordinal, frm.Payload); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			back, err := NewFrameReader(bytes.NewReader(buf.Bytes()), 0).Next()
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if back.Type != frm.Type || back.Ordinal != frm.Ordinal || !bytes.Equal(back.Payload, frm.Payload) {
+				t.Fatal("frame round trip changed contents")
 			}
 		}
 	})
