@@ -11,9 +11,11 @@ import (
 )
 
 // httpChunk is the fixed chunking the HTTP adapter applies to uploaded
-// bodies. Fixed size makes HTTP resume deterministic: a retried POST
-// skips Next×httpChunk bytes of its body and continues where the acked
-// prefix ended.
+// bodies. Fixed size makes HTTP resume deterministic — but the resume
+// offset is the acked *byte* count, not Next×httpChunk: the last acked
+// chunk of a body is usually short (io.ReadFull stops at EOF), so a
+// retried POST whose whole body was already acked would otherwise
+// compute a skip longer than the body and wedge on 400 forever.
 const httpChunk = 1 << 20
 
 // HTTPHandler returns the daemon's HTTP surface:
@@ -82,16 +84,24 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, name stri
 		return
 	}
 	if info.State == StateOpen {
-		// Skip the body prefix the server already holds (fixed-size
-		// chunking makes the offset exact), then chunk the remainder.
-		if info.Next > 0 {
-			if _, err := io.CopyN(io.Discard, r.Body, int64(info.Next)*httpChunk); err != nil {
-				http.Error(w, fmt.Sprintf("body shorter than acked prefix (%d chunks): %v", info.Next, err),
-					http.StatusBadRequest)
+		// Skip the body prefix the server already holds, then chunk the
+		// remainder. The skip is the acked byte count — the acked prefix
+		// can end in a short chunk (a previous POST's body ended there),
+		// so Next×httpChunk would overshoot a fully-acked body.
+		ord := info.Next
+		if ord > 0 {
+			status, ok := s.Status(name)
+			if !ok {
+				http.Error(w, "stream vanished during resume", http.StatusInternalServerError)
+				return
+			}
+			ord = uint32(status.Chunks)
+			if _, err := io.CopyN(io.Discard, r.Body, status.Bytes); err != nil {
+				http.Error(w, fmt.Sprintf("body shorter than acked prefix (%d chunks, %d bytes): %v",
+					status.Chunks, status.Bytes, err), http.StatusBadRequest)
 				return
 			}
 		}
-		ord := info.Next
 		buf := make([]byte, httpChunk)
 		for {
 			n, rerr := io.ReadFull(r.Body, buf)

@@ -87,6 +87,72 @@ func TestHTTPIngestAndObservabilityPlane(t *testing.T) {
 	}
 }
 
+// TestHTTPResumeSkipsAckedBytesNotChunkMultiples pins the resume
+// offset to the acked *byte* count. The acked prefix of a body can end
+// in a short chunk — every fully-uploaded body does, since io.ReadFull
+// stops at EOF — so skipping Next×1MiB would overshoot the retried
+// body and wedge the upload on 400 forever (the advertised retry path
+// after a 429'd Finish).
+func TestHTTPResumeSkipsAckedBytesNotChunkMultiples(t *testing.T) {
+	data := buildTraceBytes(t, 31)
+	svc := openService(t, t.TempDir(), nil)
+	defer svc.Close()
+	srv := httptest.NewServer(svc.HTTPHandler(nil))
+	defer srv.Close()
+	client := &http.Client{Timeout: 3 * time.Minute}
+
+	// partial: a prior POST acked a short prefix before the connection
+	// died. whole: the entire body was acked as one short chunk but
+	// Finish was rejected (queue full) — the client retries the POST.
+	preAck := map[string][]byte{
+		"partial": data[:len(data)/3],
+		"whole":   data,
+	}
+	for name, prefix := range preAck {
+		if _, err := svc.Hello(quickMeta(name)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Accept(name, 0, prefix); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cards := map[string]string{}
+	for name := range preAck {
+		resp, err := client.Post(
+			srv.URL+"/v1/streams/"+name+"?quick=1&seed=7&products=TrueSecure&sensitivity=0.6",
+			"application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retried POST %s = %d: %s", name, resp.StatusCode, body)
+		}
+		cards[name] = string(body)
+
+		status, ok := svc.Status(name)
+		if !ok {
+			t.Fatalf("stream %s vanished", name)
+		}
+		if status.Bytes != int64(len(data)) {
+			t.Fatalf("stream %s holds %d bytes after resume, want %d", name, status.Bytes, len(data))
+		}
+	}
+	// Same trace, same evaluation shape — resuming mid-body and
+	// resuming past a fully-acked body must yield the same results
+	// (the header line carries the stream name; skip it).
+	body := func(card string) string { _, rest, _ := strings.Cut(card, "\n"); return rest }
+	if body(cards["partial"]) != body(cards["whole"]) {
+		t.Fatalf("resumed scorecards differ:\n--- partial ---\n%s\n--- whole ---\n%s",
+			cards["partial"], cards["whole"])
+	}
+	if err := svc.Counts().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestHTTPRejectCarriesRetryAfter pins the backpressure contract on
 // the HTTP surface: 429 plus a whole-second Retry-After header.
 func TestHTTPRejectCarriesRetryAfter(t *testing.T) {

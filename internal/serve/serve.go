@@ -67,9 +67,9 @@ type Config struct {
 	// MaxFrameBytes caps a single frame payload on the wire (default
 	// 4 MiB; hard-capped by trace.MaxFramePayload).
 	MaxFrameBytes int
-	// IdleExpiry is the per-stream deadline: an open stream with no
-	// accepted chunk for this long is shed (accounted shed.idle;
-	// default 10m).
+	// IdleExpiry is the per-stream deadline: an uploading stream (open,
+	// or finishing with its delivery never retried) with no activity
+	// for this long is shed (accounted shed.idle; default 10m).
 	IdleExpiry time.Duration
 	// StallTimeout is handed to the campaign runner's heartbeat
 	// watchdog: an evaluation with no kernel heartbeat for this long is

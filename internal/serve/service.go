@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -31,14 +32,21 @@ type Service struct {
 	cfg    Config
 	ledger *Ledger
 
-	mu         sync.Mutex
-	streams    map[string]*stream
-	queue      []*stream
-	cond       *sync.Cond
-	draining   bool
-	closed     bool
-	spoolBytes int64 // spool bytes held by open streams
-	inflight   int   // evaluations currently running
+	mu       sync.Mutex
+	streams  map[string]*stream
+	queue    []*stream
+	cond     *sync.Cond
+	draining bool
+	closed   bool
+	inflight int // evaluations currently running
+
+	// spoolBytes tracks spool bytes held by open streams. It is atomic
+	// rather than s.mu-guarded because it must move in the same st.mu
+	// critical section as st.bytes — accept adds, shed and delivery
+	// subtract — so the budget always equals the sum of open streams'
+	// accounted bytes exactly, with no window where a shed can subtract
+	// bytes that were never added (or vice versa).
+	spoolBytes atomic.Int64
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -100,7 +108,7 @@ func (s *Service) recover() error {
 		}
 		name := ent.Name()
 		dir := filepath.Join(root, name)
-		st := &stream{name: name, dir: dir, ledger: s.ledger, lastActive: time.Now()}
+		st := &stream{name: name, dir: dir, ledger: s.ledger, spoolAcct: &s.spoolBytes, lastActive: time.Now()}
 		if err := readJSONFile(st.path(metaFile), &st.meta); err != nil {
 			// Crash between mkdir and the atomic meta write: nothing was
 			// ever acked under this name, so the empty husk is removable.
@@ -158,7 +166,7 @@ func (s *Service) recover() error {
 			st.chunks, st.bytes = chunks, bytes
 			st.spool, st.acks = spool, acks
 			s.ledger.Restore(chunks, true, false, "")
-			s.spoolBytes += bytes
+			s.spoolBytes.Add(bytes)
 			s.cfg.logf("serve: recovered open stream %s at chunk %d (%d bytes)", name, chunks, bytes)
 		}
 		s.streams[name] = st
@@ -225,7 +233,7 @@ func (s *Service) Hello(meta StreamMeta) (HelloInfo, error) {
 		return HelloInfo{}, err
 	}
 	st := &stream{
-		name: meta.Name, dir: dir, meta: meta, ledger: s.ledger,
+		name: meta.Name, dir: dir, meta: meta, ledger: s.ledger, spoolAcct: &s.spoolBytes,
 		state: StateOpen, spool: spool, acks: acks, lastActive: time.Now(),
 	}
 	s.streams[meta.Name] = st
@@ -282,10 +290,13 @@ func (s *Service) Accept(name string, ord uint32, payload []byte) (AcceptInfo, e
 		return AcceptInfo{}, &RejectError{Reason: "draining", RetryAfter: s.cfg.RetryAfter}
 	}
 	// Spool budget: pressure first sheds the longest-idle OTHER open
-	// stream (its chunks move to shed.overload), then rejects.
-	if s.spoolBytes+int64(len(payload)) > s.cfg.MaxSpoolBytes {
+	// stream (its chunks move to shed.overload), then rejects. The check
+	// is advisory (concurrent accepts may momentarily overshoot before
+	// their adds land), but the balance itself is exact: accept books the
+	// budget under st.mu, the same lock every shed subtracts under.
+	if s.spoolBytes.Load()+int64(len(payload)) > s.cfg.MaxSpoolBytes {
 		s.shedIdlestLocked(st)
-		if s.spoolBytes+int64(len(payload)) > s.cfg.MaxSpoolBytes {
+		if s.spoolBytes.Load()+int64(len(payload)) > s.cfg.MaxSpoolBytes {
 			s.mu.Unlock()
 			s.ledger.Reject(1)
 			return AcceptInfo{}, &RejectError{Reason: "spool budget exhausted", RetryAfter: s.cfg.RetryAfter}
@@ -293,20 +304,13 @@ func (s *Service) Accept(name string, ord uint32, payload []byte) (AcceptInfo, e
 	}
 	s.mu.Unlock()
 
+	// Ledger class (pending or duplicate) and the spool budget are both
+	// booked inside accept, under st.mu, so a concurrent shed always
+	// sees — and reverses — exactly what was booked.
 	next, dup, err := st.accept(ord, payload)
-	switch {
-	case err != nil:
+	if err != nil {
 		s.ledger.Reject(1)
 		return AcceptInfo{Next: next}, err
-	case dup:
-		// Booked duplicate inside accept, under the stream lock.
-	default:
-		// Booked pending inside accept; mirror the spool budget. The
-		// budget is advisory (checked before the disk write), so the
-		// momentary skew against a concurrent shed is harmless.
-		s.mu.Lock()
-		s.spoolBytes += int64(len(payload))
-		s.mu.Unlock()
 	}
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.Histogram("serve.ack_ns", obs.ClockWall).ObserveDuration(time.Since(start))
@@ -314,8 +318,12 @@ func (s *Service) Accept(name string, ord uint32, payload []byte) (AcceptInfo, e
 	return AcceptInfo{Next: next, Dup: dup}, nil
 }
 
-// shedIdlestLocked sheds the longest-idle uploading stream other than
-// keep. Caller holds s.mu.
+// shedIdlestLocked sheds the longest-idle open stream other than keep.
+// StateFinishing streams are never victims: a finishing stream is
+// inside some Finish call's unlocked validation window, where its spool
+// is being read and its delivery committed — shedding it there would
+// race the commit (and its budget is about to be released anyway).
+// Caller holds s.mu.
 func (s *Service) shedIdlestLocked(keep *stream) {
 	var victim *stream
 	var oldest time.Time
@@ -324,7 +332,7 @@ func (s *Service) shedIdlestLocked(keep *stream) {
 			continue
 		}
 		st.mu.Lock()
-		open := st.state == StateOpen || st.state == StateFinishing
+		open := st.state == StateOpen
 		last := st.lastActive
 		st.mu.Unlock()
 		if open && (victim == nil || last.Before(oldest)) {
@@ -353,6 +361,7 @@ func (s *Service) shedLocked(st *stream, reason ShedReason) {
 	st.state = StateShed
 	st.reason = string(reason)
 	s.ledger.Shed(reason, chunks)
+	s.spoolBytes.Add(-bytes)
 	st.mu.Unlock()
 
 	os.Remove(st.path(spoolFile))
@@ -360,7 +369,6 @@ func (s *Service) shedLocked(st *stream, reason ShedReason) {
 	if err := writeJSONFile(st.path(shedFile), &shedRecord{Reason: reason, Chunks: chunks}); err != nil {
 		s.cfg.logf("serve: writing shed tombstone for %s: %v", st.name, err)
 	}
-	s.spoolBytes -= bytes
 	s.updateGauges()
 	s.cfg.logf("serve: stream %s shed (%s): %d chunks dropped", st.name, reason, chunks)
 	go st.publish(Event{Kind: EventFailed, Payload: []byte("stream shed: " + string(reason))})
@@ -453,17 +461,40 @@ func (s *Service) Finish(name string, declChunks uint64, declBytes int64) error 
 	if err := campaign.SavePlan(st.path(campaignDir), spec); err != nil {
 		return fmt.Errorf("serve: planning campaign for %s: %w", name, err)
 	}
-	// finish.json is the delivery commit point: once durable, a restart
-	// re-queues the stream and the chunks stay classified delivered.
-	if err := writeJSONFile(st.path(finishFile), &finishRecord{Chunks: chunks, Bytes: bytes}); err != nil {
-		return err
-	}
 
+	// Delivery commit. Re-take the locks and re-verify everything the
+	// unlocked validation window could have invalidated: the stream may
+	// have been shed (idle reaper) — delivering already-shed chunks would
+	// double-book them — and concurrent Finishes may have filled the
+	// queue, so the depth check at admission alone would let N callers
+	// overshoot the bound by N-1. finish.json is written under s.mu so
+	// the re-check and the durable commit are atomic against other
+	// Finish calls; once it is durable, a restart re-queues the stream
+	// and the chunks stay classified delivered.
 	s.mu.Lock()
 	st.mu.Lock()
-	st.state = StateQueued
+	if st.state != StateFinishing {
+		state := st.state
+		st.mu.Unlock()
+		s.mu.Unlock()
+		return &ProtocolError{Msg: fmt.Sprintf("stream %s was %s at delivery", name, state)}
+	}
 	st.mu.Unlock()
-	s.spoolBytes -= bytes
+	// Under s.mu the state can no longer change: every shed path runs
+	// with s.mu held, and evaluation transitions only touch queued
+	// streams — this one is not queued yet.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return &RejectError{Reason: "evaluation queue full", RetryAfter: s.cfg.RetryAfter}
+	}
+	if err := writeJSONFile(st.path(finishFile), &finishRecord{Chunks: chunks, Bytes: bytes}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	st.mu.Lock()
+	st.state = StateQueued
+	s.spoolBytes.Add(-bytes)
+	st.mu.Unlock()
 	s.queue = append(s.queue, st)
 	s.ledger.Deliver(chunks)
 	s.updateGauges()
@@ -474,19 +505,27 @@ func (s *Service) Finish(name string, declChunks uint64, declBytes int64) error 
 }
 
 // shedCorruptLocked tombstones a stream whose spool failed validation
-// after its upload was already closed. Caller holds s.mu.
+// after its upload was already closed. Guarded by state like shedLocked:
+// if something else shed the stream during Finish's unlocked validation
+// window, its chunks and budget are already booked and this is a no-op —
+// without the guard the same chunks would be shed twice and the budget
+// subtracted twice. Caller holds s.mu.
 func (s *Service) shedCorruptLocked(st *stream, chunks uint64, bytes int64) {
 	st.mu.Lock()
+	if st.state != StateOpen && st.state != StateFinishing {
+		st.mu.Unlock()
+		return
+	}
 	st.state = StateShed
 	st.reason = string(ShedCorrupt)
 	s.ledger.Shed(ShedCorrupt, chunks)
+	s.spoolBytes.Add(-bytes)
 	st.mu.Unlock()
 	os.Remove(st.path(spoolFile))
 	os.Remove(st.path(ackFile))
 	if err := writeJSONFile(st.path(shedFile), &shedRecord{Reason: ShedCorrupt, Chunks: chunks}); err != nil {
 		s.cfg.logf("serve: writing shed tombstone for %s: %v", st.name, err)
 	}
-	s.spoolBytes -= bytes
 	s.updateGauges()
 	go st.publish(Event{Kind: EventFailed, Payload: []byte("stream shed: " + string(ShedCorrupt))})
 }
@@ -641,8 +680,11 @@ func renderScorecard(dir string) ([]byte, error) {
 }
 
 // reaper enforces the per-stream idle deadline: open streams that
-// stopped sending are shed (reason idle) so abandoned uploads cannot
-// hold spool budget forever.
+// stopped sending — and finishing streams whose client never retried a
+// rejected delivery — are shed (reason idle) so abandoned uploads
+// cannot hold spool budget forever. A reaped finishing stream cannot
+// corrupt an in-flight Finish: its delivery commit re-checks the state
+// under both locks and refuses to deliver shed chunks.
 func (s *Service) reaper() {
 	defer s.wg.Done()
 	tick := time.NewTicker(s.cfg.IdleExpiry / 4)
@@ -656,7 +698,8 @@ func (s *Service) reaper() {
 			s.mu.Lock()
 			for _, st := range s.streams {
 				st.mu.Lock()
-				expired := st.state == StateOpen && st.lastActive.Before(deadline)
+				expired := (st.state == StateOpen || st.state == StateFinishing) &&
+					st.lastActive.Before(deadline)
 				st.mu.Unlock()
 				if expired {
 					s.shedLocked(st, ShedIdle)

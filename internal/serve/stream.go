@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fsio"
@@ -81,6 +82,11 @@ type stream struct {
 	dir    string
 	meta   StreamMeta
 	ledger *Ledger
+	// spoolAcct points at the service's shared spool-budget balance;
+	// accept adds to it in the same st.mu critical section that extends
+	// st.bytes, so a shed (which subtracts st.bytes under the same lock)
+	// always reverses exactly what accounting exists.
+	spoolAcct *atomic.Int64
 
 	mu         sync.Mutex
 	state      string
@@ -144,9 +150,10 @@ type ackEntry struct {
 // accept ingests one data chunk. Returns (next, dup): next is the
 // ordinal the server expects after this call; dup reports a
 // retransmission of an already-accepted ordinal (re-acked, not
-// spooled). The ledger is booked while st.mu is held, so a concurrent
-// shed — which also takes st.mu — always sees a chunk either fully in
-// pending or not submitted at all, never half-classified.
+// spooled). The ledger and the spool budget are booked while st.mu is
+// held, so a concurrent shed — which also takes st.mu — always sees a
+// chunk either fully in pending and the budget, or not submitted at
+// all, never half-classified.
 func (st *stream) accept(ord uint32, payload []byte) (next uint32, dup bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -181,6 +188,7 @@ func (st *stream) accept(ord uint32, payload []byte) (next uint32, dup bool, err
 	st.chunks++
 	st.bytes += int64(len(payload))
 	st.ledger.Accept(1)
+	st.spoolAcct.Add(int64(len(payload)))
 	return uint32(st.chunks), false, nil
 }
 
