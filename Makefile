@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchhot benchgate benchtrace benchobs benchsim benchserve ci eval sweep traces faultscenarios faultgolden campaign-smoke live-smoke chaossmoke tracereport clean
+.PHONY: all build test race bench benchhot benchgate benchtrace benchobs benchsim benchserve ci eval sweep traces faultscenarios faultgolden campaign-smoke live-smoke chaossmoke crashmatrix tracereport clean
 
 all: build test race
 
@@ -33,7 +33,10 @@ race:
 # and /progress scraped mid-run, graceful SIGINT, clean resume — and
 # the daemon chaos smoke (cmd/chaossmoke): idsevald SIGKILLed
 # mid-stream, restarted, resumed from the durable ack point, scorecard
-# byte-identical to an uninterrupted run. The
+# byte-identical to an uninterrupted run — and the storage-fault matrix
+# (crashmatrix): every commit point in fsio, the campaign runner, and
+# idsevald crossed with every single-fault schedule a hostile disk can
+# produce, recovery verified after each one. The
 # batched-scan differential fuzz seeds run as regression tests alongside
 # the trace decoder's, and benchgate holds signature-scan throughput
 # within 15% of the committed BENCH_hotpath.json baseline, sharded-
@@ -56,6 +59,7 @@ ci:
 	$(MAKE) campaign-smoke
 	$(MAKE) live-smoke
 	$(MAKE) chaossmoke
+	$(MAKE) crashmatrix
 	$(MAKE) benchgate
 
 # Regenerate every table and figure of the paper.
@@ -236,6 +240,18 @@ chaossmoke:
 	$(GO) run ./cmd/chaossmoke -bin $(CHAOSSMOKE_DIR)/idsevald.bin \
 		-gen $(CHAOSSMOKE_DIR)/trafficgen.bin -dir $(CHAOSSMOKE_DIR)/chaos.d
 	rm -rf $(CHAOSSMOKE_DIR)
+
+# Storage-fault matrix: cmd/crashtorture probes each workload's exact
+# filesystem-operation trace, then replays it once per (operation ×
+# fault class) — ENOSPC, EIO, short writes, lying fsyncs, crash-stop,
+# torn tails, crash around rename/remove — recovering on the real
+# filesystem after every schedule and checking the durability
+# invariants: byte-identical campaign resume, balanced idsevald
+# ledger, resume point == durable ack prefix, no torn file at a final
+# path. Entirely in-process; the whole matrix (~300 schedules) runs in
+# a few seconds. DESIGN.md §16 documents the fault model.
+crashmatrix:
+	$(GO) run ./cmd/crashtorture
 
 # Capture a flight-recorder timeline of the sharded at-scale run as
 # Chrome trace_event JSON. Open trace_sharded.json in Perfetto

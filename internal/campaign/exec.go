@@ -21,8 +21,8 @@ import (
 // source of parallelism, so nested pools never oversubscribe the
 // machine and the per-experiment simulations stay deterministic units.
 func (r *Runner) execute(ctx context.Context, ex Experiment) (*Result, error) {
-	if r.execOverride != nil {
-		return r.execOverride(ctx, ex)
+	if r.Exec != nil {
+		return r.Exec(ctx, ex)
 	}
 	spec, ok := products.Find(ex.Product)
 	if !ok {

@@ -11,5 +11,5 @@ func (r *Runner) SetCrashAfter(n int) { r.crashAfter = n }
 
 // SetExecOverride substitutes experiment execution.
 func (r *Runner) SetExecOverride(f func(ctx context.Context, ex Experiment) (*Result, error)) {
-	r.execOverride = f
+	r.Exec = f
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/fsio"
 )
 
 // Entry is one journal line. The journal is append-only JSONL; the
@@ -70,7 +72,7 @@ func resultFile(dir, id string) string {
 // line — the signature of a kill mid-append — is tolerated and
 // ignored; a torn line anywhere else is corruption and errors.
 func ReplayJournal(dir string) (map[string]Entry, int, error) {
-	last, lines, _, err := replayJournal(dir)
+	last, lines, _, err := replayJournal(fsio.OS, dir)
 	return last, lines, err
 }
 
@@ -80,8 +82,8 @@ func ReplayJournal(dir string) (map[string]Entry, int, error) {
 // runner truncates to the valid length, otherwise the next line would
 // concatenate onto the torn fragment and corrupt the journal for the
 // replay after this one.
-func replayJournal(dir string) (map[string]Entry, int, int64, error) {
-	data, err := os.ReadFile(journalFile(dir))
+func replayJournal(fsys fsio.FS, dir string) (map[string]Entry, int, int64, error) {
+	data, err := fsys.ReadFile(journalFile(dir))
 	if os.IsNotExist(err) {
 		return map[string]Entry{}, 0, 0, nil
 	}

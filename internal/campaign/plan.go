@@ -182,15 +182,18 @@ func (s *Spec) Plan() ([]Experiment, error) {
 func planFile(dir string) string { return filepath.Join(dir, "plan.json") }
 
 // SavePlan writes the spec atomically as the campaign's plan.json.
-func SavePlan(dir string, spec *Spec) error {
+func SavePlan(dir string, spec *Spec) error { return SavePlanFS(fsio.OS, dir, spec) }
+
+// SavePlanFS is SavePlan against an explicit storage seam.
+func SavePlanFS(fsys fsio.FS, dir string, spec *Spec) error {
 	spec.applyDefaults()
 	if _, err := spec.Plan(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("campaign: %w", err)
 	}
-	return fsio.WriteAtomic(planFile(dir), func(w io.Writer) error {
+	return fsio.WriteAtomicFS(fsys, planFile(dir), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(spec)

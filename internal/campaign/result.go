@@ -3,7 +3,8 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+
+	"repro/internal/fsio"
 )
 
 // Result is the persisted payload of one completed experiment: the
@@ -80,8 +81,10 @@ func (r *Result) encode() ([]byte, error) {
 }
 
 // LoadResult reads one experiment's persisted result.
-func LoadResult(dir, id string) (*Result, error) {
-	b, err := os.ReadFile(resultFile(dir, id))
+func LoadResult(dir, id string) (*Result, error) { return loadResultFS(fsio.OS, dir, id) }
+
+func loadResultFS(fsys fsio.FS, dir, id string) (*Result, error) {
+	b, err := fsys.ReadFile(resultFile(dir, id))
 	if err != nil {
 		return nil, fmt.Errorf("campaign: result for %s: %w", id, err)
 	}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -61,13 +60,20 @@ type Runner struct {
 	// the daemon's live /metrics feed for matrix evaluations. Must be
 	// safe for concurrent use.
 	OnEvalSnapshot func(product string, snap *obs.Snapshot)
+	// FS is the storage seam every durability-bearing write goes
+	// through (journal appends, result files, the torn-tail truncate).
+	// nil means the real filesystem; cmd/crashtorture substitutes a
+	// fault-injecting one.
+	FS fsio.FS
+	// Exec, when set, substitutes experiment execution — the seam the
+	// torture matrix and tests use to make experiments instant and
+	// deterministic without touching the commit discipline.
+	Exec func(ctx context.Context, ex Experiment) (*Result, error)
 
 	// crashAfter simulates a hard crash (no drain, no further
 	// journaling) after N journal appends — the resume tests' kill
 	// switch.
 	crashAfter int
-	// execOverride substitutes experiment execution in tests.
-	execOverride func(ctx context.Context, ex Experiment) (*Result, error)
 
 	appended atomic.Int64
 	stopped  atomic.Bool
@@ -210,18 +216,25 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(resultsDir(r.Dir), 0o755); err != nil {
+	fsys := fsio.DefaultFS(r.FS)
+	if err := fsys.MkdirAll(resultsDir(r.Dir), 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	done, _, valid, err := replayJournal(r.Dir)
+	// A crash mid-commit leaves the atomic write's temp file behind;
+	// it never threatens a final path, but across many crashes the
+	// strays add up. Resume owns these directories — sweep them.
+	if n := fsio.CleanStrayTemps(fsys, r.Dir) + fsio.CleanStrayTemps(fsys, resultsDir(r.Dir)); n > 0 {
+		r.logf("campaign: removed %d stray temp file(s) left by an earlier crash", n)
+	}
+	done, _, valid, err := replayJournal(fsys, r.Dir)
 	if err != nil {
 		return nil, err
 	}
 	// A torn final append (kill -9 mid-write) leaves a fragment with no
 	// trailing newline; truncate it so the next append starts a fresh
 	// line instead of concatenating into corruption.
-	if fi, serr := os.Stat(journalFile(r.Dir)); serr == nil && fi.Size() > valid {
-		if terr := os.Truncate(journalFile(r.Dir), valid); terr != nil {
+	if fi, serr := fsys.Stat(journalFile(r.Dir)); serr == nil && fi.Size() > valid {
+		if terr := fsys.Truncate(journalFile(r.Dir), valid); terr != nil {
 			return nil, fmt.Errorf("campaign: truncating torn journal tail: %w", terr)
 		}
 	}
@@ -230,6 +243,18 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 	var pending []Experiment
 	for _, ex := range exps {
 		if e, ok := done[ex.ID]; ok && e.Status == StatusDone {
+			// Trust but verify: "done" promises a usable result file. A
+			// lying fsync (journal line survived the crash, result bytes
+			// did not) breaks that promise, and skipping here would wedge
+			// the campaign forever — Load() refuses the directory while
+			// resume keeps insisting there is nothing left to run. Re-run
+			// instead; the rewrite atomically replaces the bad file.
+			if _, lerr := loadResultFS(fsys, r.Dir, ex.ID); lerr != nil {
+				r.count("campaign.result_reruns", 1)
+				r.logf("  redo  %-40s journaled done but result unusable: %v", ex.ID, lerr)
+				pending = append(pending, ex)
+				continue
+			}
 			out.Skipped++
 			continue
 		}
@@ -248,7 +273,7 @@ func (r *Runner) Run(ctx context.Context) (*Outcome, error) {
 		return out, nil
 	}
 
-	jf, err := fsio.OpenAppend(journalFile(r.Dir))
+	jf, err := fsio.OpenAppendFS(fsys, journalFile(r.Dir))
 	if err != nil {
 		return nil, err
 	}
@@ -484,7 +509,7 @@ func (r *Runner) commit(ex Experiment, res *Result, attempt int, elapsed time.Du
 		return err
 	}
 	start := time.Now()
-	err = fsio.WriteAtomic(resultFile(r.Dir, ex.ID), func(w io.Writer) error {
+	err = fsio.WriteAtomicFS(fsio.DefaultFS(r.FS), resultFile(r.Dir, ex.ID), func(w io.Writer) error {
 		_, werr := w.Write(b)
 		return werr
 	})

@@ -1,0 +1,168 @@
+package campaign_test
+
+// Pinned regression schedules from cmd/crashtorture: the recovery bugs
+// the storage-fault matrix found in the campaign runner, each replayed
+// by its exact deterministic fault schedule.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/fsio/faultfs"
+)
+
+// TestResumeRerunsDoneEntryWithUnusableResult pins the "wedged forever"
+// bug: a journal line says done but the result file is unusable (torn,
+// missing, or corrupt). Before the fix, resume skipped the experiment
+// on the journal's word while Load refused the directory — the
+// campaign could never complete. Resume must re-run it instead.
+func TestResumeRerunsDoneEntryWithUnusableResult(t *testing.T) {
+	dir := t.TempDir()
+	spec := syntheticSpec(t, 3)
+	if err := campaign.SavePlan(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(dir, spec)
+	r.SetExecOverride(syntheticExec)
+	out, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReport(t, dir)
+
+	// Corrupt one result file behind the journal's back — the disk
+	// equivalent of a torn write the journal never learned about.
+	ents, err := os.ReadDir(filepath.Join(dir, "results"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("reading results: %v (%d entries)", err, len(ents))
+	}
+	victim := filepath.Join(dir, "results", ents[0].Name())
+	if err := os.WriteFile(victim, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := newRunner(dir, spec)
+	r2.SetExecOverride(syntheticExec)
+	out2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Completed != 1 || out2.Skipped != out.Planned-1 {
+		t.Fatalf("resume completed=%d skipped=%d, want exactly the 1 unusable result re-run", out2.Completed, out2.Skipped)
+	}
+	if got := renderReport(t, dir); got != want {
+		t.Fatal("report after re-run differs from uninterrupted run")
+	}
+}
+
+// TestLyingFsyncOnResultFileHealsOnResume is the end-to-end version
+// through the hostile disk: the result file's fsync lies, the journal
+// line lands durably, the power cut then exposes the loss. The exact
+// schedule comes from the crashtorture matrix (sync:lie on the first
+// result commit).
+func TestLyingFsyncOnResultFileHealsOnResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := syntheticSpec(t, 3)
+	if err := campaign.SavePlan(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfs.New(faultfs.Rule{Op: faultfs.OpSync, Path: "results/", N: 1, SyncLie: true})
+	r := newRunner(dir, spec)
+	r.FS = ffs
+	r.Exec = syntheticExec
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashNow()
+
+	// The power cut truncated the lied-about result to zero bytes while
+	// its journal line survived.
+	torn := 0
+	ents, err := os.ReadDir(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			torn++
+		}
+	}
+	if torn != 1 {
+		t.Fatalf("crash exposed %d torn results, want 1 (schedule drifted?)", torn)
+	}
+
+	r2 := newRunner(dir, spec)
+	r2.SetExecOverride(syntheticExec)
+	out, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != 1 || out.Skipped != out.Planned-1 {
+		t.Fatalf("resume completed=%d skipped=%d of %d, want the torn result re-run and the rest skipped",
+			out.Completed, out.Skipped, out.Planned)
+	}
+	if _, err := campaign.Load(dir); err != nil {
+		t.Fatalf("campaign still unloadable after resume: %v", err)
+	}
+}
+
+// TestResumeSweepsStrayResultTemp pins the stray-temp leak: a crash
+// between a result's CreateTemp and Commit strands the atomic write's
+// temp file, and before the fix no resume path removed it.
+func TestResumeSweepsStrayResultTemp(t *testing.T) {
+	dir := t.TempDir()
+	spec := syntheticSpec(t, 3)
+	if err := campaign.SavePlan(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultfs.New(faultfs.Rule{Op: faultfs.OpRename, Path: "results/", N: 2, Crash: true})
+	r := &campaign.Runner{
+		Dir: dir, Spec: spec, FS: ffs, Workers: 1,
+		MaxAttempts: 1, Backoff: time.Millisecond, StallTimeout: -1,
+		Exec: syntheticExec,
+	}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Fatal("run succeeded despite crash mid-commit")
+	}
+	if !hasStray(t, filepath.Join(dir, "results")) {
+		t.Fatal("test premise broken: crash left no stray temp")
+	}
+
+	r2 := newRunner(dir, spec)
+	r2.SetExecOverride(syntheticExec)
+	if _, err := r2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hasStray(t, dir) || hasStray(t, filepath.Join(dir, "results")) {
+		t.Fatal("resume left the stray atomic-write temp file behind")
+	}
+	if _, err := campaign.Load(dir); err != nil {
+		t.Fatalf("campaign unloadable after resume: %v", err)
+	}
+}
+
+func hasStray(t *testing.T, dir string) bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false
+		}
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			return true
+		}
+	}
+	return false
+}

@@ -99,12 +99,19 @@ func (o *ObsFlags) SetSnapshot(fn func() *obs.Snapshot) { o.snapshot = fn }
 func (o *ObsFlags) SetProgress(fn func() any) { o.progress = fn }
 
 // Snapshot returns the current snapshot via the installed provider (or
-// the shared registry). Nil when collection is off.
+// the shared registry), with the storage layer's fsio.* health
+// counters merged in. Nil when collection is off.
 func (o *ObsFlags) Snapshot() *obs.Snapshot {
+	var snap *obs.Snapshot
 	if o.snapshot != nil {
-		return o.snapshot()
+		snap = o.snapshot()
+	} else {
+		snap = o.Registry().Snapshot()
 	}
-	return o.Registry().Snapshot()
+	if snap != nil {
+		snap.Merge(obs.FSIOSnapshot())
+	}
+	return snap
 }
 
 // Serve starts the live HTTP endpoint when -listen was given and ties

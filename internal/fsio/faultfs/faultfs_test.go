@@ -1,0 +1,186 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/fsio"
+)
+
+// append writes one record through an fsio.AppendFile on fs.
+func appendRec(t *testing.T, fs *FS, path, rec string) (*fsio.AppendFile, error) {
+	t.Helper()
+	af, err := fsio.OpenAppendFS(fs, path)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	return af, af.Append([]byte(rec))
+}
+
+func TestPassthroughRecordsTrace(t *testing.T) {
+	fs := New()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	af, err := appendRec(t, fs, path, "one\n")
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got := fs.Trace()
+	want := []Op{OpOpenAppend, OpWrite, OpSync, OpSync} // Append syncs, Close syncs
+	if len(got) != len(want) {
+		t.Fatalf("trace %v, want ops %v", got, want)
+	}
+	for i, r := range got {
+		if r.Op != want[i] {
+			t.Fatalf("trace[%d] = %s, want %s (full: %v)", i, r.Op, want[i], got)
+		}
+	}
+	if fs.Injected() != 0 {
+		t.Fatalf("probe mode injected %d faults", fs.Injected())
+	}
+}
+
+func TestNthMatchAndError(t *testing.T) {
+	fs := New(Rule{Op: OpWrite, N: 2, Err: syscall.ENOSPC})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	af, err := appendRec(t, fs, path, "one\n")
+	if err != nil {
+		t.Fatalf("first append should pass: %v", err)
+	}
+	if err := af.Append([]byte("two\n")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second append err = %v, want ENOSPC", err)
+	}
+	if fs.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", fs.Injected())
+	}
+	// The failed record must have been truncated away by fsio's repair.
+	b, _ := os.ReadFile(path)
+	if string(b) != "one\n" {
+		t.Fatalf("file = %q, want only the first record", b)
+	}
+}
+
+func TestCrashTruncatesToWatermark(t *testing.T) {
+	fs := New(Rule{Op: OpSync, N: 2, Crash: true})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	af, err := appendRec(t, fs, path, "one\n")
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := af.Append([]byte("two\n")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append during crash = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs should be crashed")
+	}
+	// "two\n" was written but never fsynced: the crash removes it.
+	b, _ := os.ReadFile(path)
+	if string(b) != "one\n" {
+		t.Fatalf("post-crash file = %q, want %q", b, "one\n")
+	}
+	// The dead filesystem refuses everything.
+	if _, err := fs.OpenAppend(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open on crashed fs = %v, want ErrCrashed", err)
+	}
+}
+
+func TestSyncLieLosesWriteAtCrash(t *testing.T) {
+	fs := New(Rule{Op: OpSync, N: 2, SyncLie: true})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	af, err := appendRec(t, fs, path, "one\n")
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := af.Append([]byte("two\n")); err != nil {
+		t.Fatalf("lying sync must ack: %v", err)
+	}
+	// Before the crash the bytes are visible — that is the trap.
+	b, _ := os.ReadFile(path)
+	if string(b) != "one\ntwo\n" {
+		t.Fatalf("pre-crash file = %q", b)
+	}
+	fs.CrashNow()
+	b, _ = os.ReadFile(path)
+	if string(b) != "one\n" {
+		t.Fatalf("post-crash file = %q, want the lie exposed (only %q)", b, "one\n")
+	}
+}
+
+func TestCrashMidWriteLeavesTornTail(t *testing.T) {
+	fs := New(Rule{Op: OpWrite, N: 2, Crash: true, Partial: -1})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	af, err := appendRec(t, fs, path, "one\n")
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := af.Append([]byte("second-record\n")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append = %v, want ErrCrashed", err)
+	}
+	b, _ := os.ReadFile(path)
+	want := "one\n" + "second-record\n"[:len("second-record\n")/2]
+	if string(b) != want {
+		t.Fatalf("post-crash file = %q, want torn tail %q", b, want)
+	}
+}
+
+func TestRenameCrashBeforeAndAfter(t *testing.T) {
+	for _, after := range []bool{false, true} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.json")
+		fs := New(Rule{Op: OpRename, Crash: true, After: after})
+		_ = fsio.WriteAtomicFS(fs, path, func(w io.Writer) error {
+			_, err := w.Write([]byte("{}\n"))
+			return err
+		})
+		_, statErr := os.Stat(path)
+		if after && statErr != nil {
+			t.Fatalf("After=true: destination should exist: %v", statErr)
+		}
+		if !after && statErr == nil {
+			t.Fatal("After=false: destination should not exist")
+		}
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	fs := New(Rule{Op: OpWrite, ShortWrite: true})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.log")
+	_, err := appendRec(t, fs, path, "abcdefgh\n")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write err = %v, want ENOSPC", err)
+	}
+	// fsio repaired: the half-record is gone.
+	b, _ := os.ReadFile(path)
+	if len(b) != 0 {
+		t.Fatalf("file = %q, want empty after repair", b)
+	}
+	if fsio.ReadStats().AppendRepairs == 0 {
+		t.Fatal("expected an append repair to be counted")
+	}
+}
+
+func TestPathSubstringScoping(t *testing.T) {
+	fs := New(Rule{Op: OpWrite, Path: "b.log", Err: syscall.EIO})
+	dir := t.TempDir()
+	afA, err := appendRec(t, fs, filepath.Join(dir, "a.log"), "x\n")
+	if err != nil {
+		t.Fatalf("a.log should be untouched: %v", err)
+	}
+	afA.Close()
+	_, err = appendRec(t, fs, filepath.Join(dir, "b.log"), "x\n")
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("b.log err = %v, want EIO", err)
+	}
+}

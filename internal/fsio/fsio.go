@@ -11,21 +11,34 @@
 // then the directory is fsynced so the rename itself survives a crash.
 // Readers that only ever open the final path can never observe a
 // partial write.
+//
+// Every operation runs against an FS (see vfs.go): the default OS
+// passthrough costs nothing, and fsio/faultfs substitutes a hostile
+// disk so cmd/crashtorture can prove the recovery paths instead of
+// presuming them. The package-level helpers (WriteAtomic, Create,
+// OpenAppend, SyncDir) are OS-bound conveniences; the *FS variants take
+// the seam explicitly.
 package fsio
 
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
 )
 
-// WriteAtomic writes one file atomically: write runs against a temp
+// WriteAtomic writes one file atomically via the passthrough OS
+// filesystem. See WriteAtomicFS.
+func WriteAtomic(path string, write func(w io.Writer) error) error {
+	return WriteAtomicFS(OS, path, write)
+}
+
+// WriteAtomicFS writes one file atomically: write runs against a temp
 // file created in path's directory; on success the temp file is synced
 // and renamed over path. On any error the temp file is removed and
 // path is untouched.
-func WriteAtomic(path string, write func(w io.Writer) error) error {
-	af, err := Create(path)
+func WriteAtomicFS(fsys FS, path string, write func(w io.Writer) error) error {
+	af, err := CreateFS(fsys, path)
 	if err != nil {
 		return err
 	}
@@ -36,29 +49,58 @@ func WriteAtomic(path string, write func(w io.Writer) error) error {
 	return af.Commit()
 }
 
+// CleanStrayTemps removes atomic-write temp files (".<name>.tmp-*")
+// left behind in dir by a crash between CreateFS and Commit — the
+// temp never threatens the destination, but it leaks disk across
+// crashes. Recovery paths call this once per directory they own.
+// Returns the number removed; a missing directory removes nothing.
+func CleanStrayTemps(fsys FS, dir string) int {
+	fsys = DefaultFS(fsys)
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
 // AtomicFile is an in-progress atomic write for callers that need the
 // file handle itself (streaming encoders). Write into it, then either
 // Commit (sync + rename into place) or Abort (remove the temp file).
 // An AtomicFile left neither committed nor aborted is just a stray
 // .tmp file — the destination is never touched.
 type AtomicFile struct {
-	f    *os.File
+	fs   FS
+	f    File
 	path string
 	done bool
 }
 
-// Create starts an atomic write of path. The temp file lives in the
-// same directory so the final rename cannot cross filesystems.
-func Create(path string) (*AtomicFile, error) {
+// Create starts an atomic write of path on the passthrough OS
+// filesystem. See CreateFS.
+func Create(path string) (*AtomicFile, error) { return CreateFS(OS, path) }
+
+// CreateFS starts an atomic write of path on fsys. The temp file lives
+// in the same directory so the final rename cannot cross filesystems.
+func CreateFS(fsys FS, path string) (*AtomicFile, error) {
 	abs, err := filepath.Abs(path)
 	if err != nil {
 		return nil, fmt.Errorf("fsio: %w", err)
 	}
-	f, err := os.CreateTemp(filepath.Dir(abs), "."+filepath.Base(abs)+".tmp-*")
+	f, err := fsys.CreateTemp(filepath.Dir(abs), "."+filepath.Base(abs)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("fsio: %w", err)
 	}
-	return &AtomicFile{f: f, path: abs}, nil
+	return &AtomicFile{fs: fsys, f: f, path: abs}, nil
 }
 
 // Write implements io.Writer.
@@ -70,7 +112,11 @@ func (a *AtomicFile) Name() string { return a.f.Name() }
 
 // Commit syncs the temp file and renames it over the destination,
 // then syncs the directory so the rename is durable. Idempotent after
-// success; returns an error (and aborts) if any step fails.
+// success. On a sync, close, or rename failure the temp file is
+// removed and the destination is untouched; a directory-sync failure
+// after the rename is reported too (the destination then exists but
+// its durability is not guaranteed — callers retry, the write is
+// idempotent).
 func (a *AtomicFile) Commit() error {
 	if a.done {
 		return nil
@@ -79,18 +125,21 @@ func (a *AtomicFile) Commit() error {
 	tmp := a.f.Name()
 	if err := a.f.Sync(); err != nil {
 		a.f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("fsio: sync %s: %w", tmp, err)
+		a.fs.Remove(tmp)
+		return fmt.Errorf("fsio: sync %s (for %s): %w", tmp, a.path, err)
 	}
 	if err := a.f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("fsio: close %s: %w", tmp, err)
+		a.fs.Remove(tmp)
+		return fmt.Errorf("fsio: close %s (for %s): %w", tmp, a.path, err)
 	}
-	if err := os.Rename(tmp, a.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("fsio: %w", err)
+	if err := a.fs.Rename(tmp, a.path); err != nil {
+		a.fs.Remove(tmp)
+		return fmt.Errorf("fsio: rename into %s: %w", a.path, err)
 	}
-	return SyncDir(filepath.Dir(a.path))
+	if err := a.fs.SyncDir(filepath.Dir(a.path)); err != nil {
+		return fmt.Errorf("fsio: %s committed but directory sync failed: %w", a.path, err)
+	}
+	return nil
 }
 
 // Abort discards the write, removing the temp file. Idempotent and
@@ -102,51 +151,117 @@ func (a *AtomicFile) Abort() {
 	a.done = true
 	tmp := a.f.Name()
 	a.f.Close()
-	os.Remove(tmp)
+	a.fs.Remove(tmp)
 }
 
-// SyncDir fsyncs a directory so a completed rename or create inside it
-// survives a crash. Filesystems that refuse to sync directories are
-// tolerated (the rename is still atomic there).
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("fsio: %w", err)
-	}
-	defer d.Close()
-	// Ignore sync errors from filesystems without directory fsync
-	// support; atomicity of the rename does not depend on it.
-	_ = d.Sync()
-	return nil
-}
+// SyncDir fsyncs a directory on the passthrough OS filesystem so a
+// completed rename or create inside it survives a crash. Filesystems
+// that refuse to sync directories are tolerated — counted and logged
+// once per directory (see ReadStats) instead of silently discarded.
+func SyncDir(dir string) error { return OS.SyncDir(dir) }
 
 // AppendFile is an append-only file whose writes are individually
 // durable: each Append writes one buffer and fsyncs before returning.
 // This is the campaign journal's commit discipline — an experiment is
 // "done" exactly when its journal line has reached the disk.
+//
+// A failed append repairs itself: the partial record (short write, or
+// a full write whose fsync failed) is truncated away so the file ends
+// at the last known-durable record boundary and the next append can
+// never concatenate onto a torn fragment. If even the repair truncate
+// fails the file is poisoned — every later Append refuses with the
+// original error — because appending past an unremovable fragment
+// would corrupt the journal for every future replay.
 type AppendFile struct {
-	f *os.File
+	f    File
+	path string
+	// good is the byte offset of the last record boundary known to be
+	// durable; size is the current write offset (== good between calls
+	// unless a repair failed).
+	good   int64
+	size   int64
+	broken error
 }
 
-// OpenAppend opens (creating if absent) path for durable appends.
-func OpenAppend(path string) (*AppendFile, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// OpenAppend opens (creating if absent) path for durable appends on
+// the passthrough OS filesystem. See OpenAppendFS.
+func OpenAppend(path string) (*AppendFile, error) { return OpenAppendFS(OS, path) }
+
+// OpenAppendFS opens (creating if absent) path for durable appends on
+// fsys.
+func OpenAppendFS(fsys FS, path string) (*AppendFile, error) {
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("fsio: %w", err)
 	}
-	return &AppendFile{f: f}, nil
+	size := int64(0)
+	if fi, serr := fsys.Stat(path); serr == nil {
+		size = fi.Size()
+	}
+	return &AppendFile{f: f, path: path, good: size, size: size}, nil
 }
 
-// Append writes p and fsyncs.
+// Append writes p and fsyncs. On failure the file is truncated back to
+// the previous record boundary (see the type comment) before the error
+// is returned, so a failed append is invisible to the next one.
 func (a *AppendFile) Append(p []byte) error {
-	if _, err := a.f.Write(p); err != nil {
-		return fmt.Errorf("fsio: append %s: %w", a.f.Name(), err)
+	if a.broken != nil {
+		return fmt.Errorf("fsio: append %s: file poisoned by earlier unrepaired failure: %w", a.path, a.broken)
+	}
+	n, err := a.f.Write(p)
+	a.size += int64(n)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return a.repair(fmt.Errorf("fsio: append %s: wrote %d of %d bytes: %w", a.path, n, len(p), err))
 	}
 	if err := a.f.Sync(); err != nil {
-		return fmt.Errorf("fsio: sync %s: %w", a.f.Name(), err)
+		return a.repair(fmt.Errorf("fsio: sync %s: %w", a.path, err))
 	}
+	a.good = a.size
 	return nil
 }
 
-// Close closes the underlying file.
-func (a *AppendFile) Close() error { return a.f.Close() }
+// repair truncates back to the last durable record boundary after a
+// failed append. If the truncate fails too, the file is poisoned.
+func (a *AppendFile) repair(cause error) error {
+	if terr := a.f.Truncate(a.good); terr != nil {
+		a.broken = fmt.Errorf("%w (and truncate-repair to %d failed: %v)", cause, a.good, terr)
+		return a.broken
+	}
+	a.size = a.good
+	noteAppendRepair()
+	return cause
+}
+
+// Sync fsyncs the file — the escape hatch for callers that batch
+// several writes between durability points.
+func (a *AppendFile) Sync() error {
+	if a.broken != nil {
+		return a.broken
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("fsio: sync %s: %w", a.path, err)
+	}
+	a.good = a.size
+	return nil
+}
+
+// Close fsyncs and closes the underlying file, so the final append of
+// a clean shutdown is durable even if a future caller batched it.
+// Returns the first error; the close always runs.
+func (a *AppendFile) Close() error {
+	var serr error
+	if a.broken == nil {
+		if err := a.f.Sync(); err != nil {
+			serr = fmt.Errorf("fsio: sync %s at close: %w", a.path, err)
+		} else {
+			a.good = a.size
+		}
+	}
+	if cerr := a.f.Close(); cerr != nil && serr == nil {
+		serr = cerr
+	}
+	return serr
+}

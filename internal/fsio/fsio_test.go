@@ -137,3 +137,56 @@ func assertNoStrays(t *testing.T, dir string) {
 		}
 	}
 }
+
+// The VFS seam must be free on the hot path: an append through the OS
+// passthrough performs exactly the write and fsync syscalls, with zero
+// allocations added by the interface indirection. This is the contract
+// that lets every spool and journal write carry the fault-injection
+// seam permanently.
+func TestPassthroughAppendZeroAllocs(t *testing.T) {
+	a, err := OpenAppendFS(OS, filepath.Join(t.TempDir(), "hot.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rec := []byte("one-journal-record\n")
+	if err := a.Append(rec); err != nil { // warm any lazy state
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := a.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("append through the VFS seam allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// CleanStrayTemps removes exactly the atomic-write temp pattern and
+// nothing else.
+func TestCleanStrayTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{".result.json.tmp-123", ".plan.json.tmp-9", "keep.json", ".hidden", "tmp-notdot"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := CleanStrayTemps(OS, dir); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, e := range ents {
+		left = append(left, e.Name())
+	}
+	if len(left) != 3 {
+		t.Fatalf("left %v, want the 3 non-temp files", left)
+	}
+	if n := CleanStrayTemps(OS, filepath.Join(dir, "missing")); n != 0 {
+		t.Fatalf("missing dir removed %d", n)
+	}
+}

@@ -1,0 +1,81 @@
+package fsio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time copy of fsio's process-wide storage-health
+// counters. internal/obs (which imports this package — the dependency
+// points that way, so fsio cannot hold obs instruments itself) renders
+// them as fsio.* counters on every /metrics scrape via
+// obs.FSIOSnapshot.
+type Stats struct {
+	// DirSyncErrors counts directory fsyncs that failed and were
+	// tolerated. A nonzero value means renames are atomic but their
+	// durability across power loss is not guaranteed by the filesystem.
+	DirSyncErrors uint64
+	// AppendRepairs counts failed appends whose partial record was
+	// truncated away so the journal stayed record-aligned.
+	AppendRepairs uint64
+	// FaultsInjected counts faults fired by an injecting FS (faultfs);
+	// always zero in production.
+	FaultsInjected uint64
+}
+
+var stats struct {
+	dirSyncErrors  atomic.Uint64
+	appendRepairs  atomic.Uint64
+	faultsInjected atomic.Uint64
+}
+
+// ReadStats snapshots the process-wide counters.
+func ReadStats() Stats {
+	return Stats{
+		DirSyncErrors:  stats.dirSyncErrors.Load(),
+		AppendRepairs:  stats.appendRepairs.Load(),
+		FaultsInjected: stats.faultsInjected.Load(),
+	}
+}
+
+// NoteFault is called by fault-injecting FS implementations each time
+// a scheduled fault fires, so injected faults are visible on /metrics
+// next to the recovery counters they trigger.
+func NoteFault() { stats.faultsInjected.Add(1) }
+
+// warn is where degraded-filesystem warnings go: stderr by default.
+// Guarded by warnMu; SetWarnLog redirects (tests, the torture matrix).
+var (
+	warnMu  sync.Mutex
+	warnLog io.Writer = os.Stderr
+
+	dirSyncLogged sync.Map // dir -> struct{}: log once per directory
+)
+
+// SetWarnLog redirects fsio's once-per-directory degradation warnings
+// (nil restores stderr) and returns the previous writer.
+func SetWarnLog(w io.Writer) io.Writer {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	prev := warnLog
+	if w == nil {
+		w = os.Stderr
+	}
+	warnLog = w
+	return prev
+}
+
+func noteDirSyncError(dir string, err error) {
+	stats.dirSyncErrors.Add(1)
+	if _, loaded := dirSyncLogged.LoadOrStore(dir, struct{}{}); loaded {
+		return
+	}
+	warnMu.Lock()
+	fmt.Fprintf(warnLog, "fsio: directory sync %s: %v (tolerated; reported once per directory — renames there may not survive power loss)\n", dir, err)
+	warnMu.Unlock()
+}
+
+func noteAppendRepair() { stats.appendRepairs.Add(1) }

@@ -70,6 +70,22 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// FSIOSnapshot exports the storage layer's package-level health
+// counters as a mergeable snapshot. fsio sits below obs in the import
+// graph, so it keeps raw atomics and this bridge renders them:
+// fsio.dirsync_errors (tolerated-but-counted directory fsync
+// failures), fsio.append_repairs (truncate-repairs after a failed
+// append), and fsio.faults_injected (nonzero only under faultfs —
+// a canary that a hostile-disk config leaked into production use).
+func FSIOSnapshot() *Snapshot {
+	st := fsio.ReadStats()
+	return &Snapshot{Counters: []CounterSnap{
+		{Name: "fsio.append_repairs", Value: st.AppendRepairs},
+		{Name: "fsio.dirsync_errors", Value: st.DirSyncErrors},
+		{Name: "fsio.faults_injected", Value: st.FaultsInjected},
+	}}
+}
+
 // Counter returns the named counter's value and whether it exists.
 func (s *Snapshot) Counter(name string) (uint64, bool) {
 	if s == nil {

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/fsio"
+)
+
+// The fsio bridge must surface the storage layer's counters under
+// stable names and merge cleanly into a registry snapshot.
+func TestFSIOSnapshotBridge(t *testing.T) {
+	before, _ := FSIOSnapshot().Counter("fsio.append_repairs")
+	fsio.NoteFault() // the only stat with a public mutator
+
+	snap := FSIOSnapshot()
+	for _, name := range []string{"fsio.append_repairs", "fsio.dirsync_errors", "fsio.faults_injected"} {
+		if _, ok := snap.Counter(name); !ok {
+			t.Errorf("FSIOSnapshot missing counter %s", name)
+		}
+	}
+	if got, _ := snap.Counter("fsio.faults_injected"); got == 0 {
+		t.Error("fsio.faults_injected did not advance after NoteFault")
+	}
+	if got, _ := snap.Counter("fsio.append_repairs"); got < before {
+		t.Error("counters went backwards")
+	}
+
+	reg := NewRegistry()
+	reg.Counter("serve.accepted").Inc()
+	m := reg.Snapshot()
+	m.Merge(FSIOSnapshot())
+	if _, ok := m.Counter("fsio.faults_injected"); !ok {
+		t.Error("merged snapshot lost the fsio counters")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/fsio"
 	"repro/internal/obs"
 )
 
@@ -57,7 +58,9 @@ type Config struct {
 	QueueDepth int
 	// EvalWorkers is the number of concurrent stream evaluations
 	// (default 2). Each evaluation runs its campaign with Workers=1, so
-	// this is the daemon's total evaluation parallelism.
+	// this is the daemon's total evaluation parallelism. -1 starts no
+	// workers at all — torture and recovery tests use that to inspect
+	// the post-recovery queue without evaluations racing ahead.
 	EvalWorkers int
 	// MaxSpoolBytes budgets the total spool bytes held by open streams
 	// (default 256 MiB). An accept that would exceed it first sheds the
@@ -95,6 +98,11 @@ type Config struct {
 	Obs *obs.Registry
 	// Log, when set, receives operational lines (never protocol data).
 	Log io.Writer
+	// FS is the storage seam every durability-bearing write goes
+	// through: spool appends, the ack journal, finish.json, tombstones,
+	// and the campaign files beneath. nil means the real filesystem;
+	// cmd/crashtorture substitutes a fault-injecting one.
+	FS fsio.FS
 }
 
 func (c *Config) applyDefaults() {
@@ -104,7 +112,9 @@ func (c *Config) applyDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
 	}
-	if c.EvalWorkers <= 0 {
+	if c.EvalWorkers < 0 {
+		c.EvalWorkers = 0
+	} else if c.EvalWorkers == 0 {
 		c.EvalWorkers = 2
 	}
 	if c.MaxSpoolBytes <= 0 {

@@ -30,6 +30,7 @@ import (
 // thin adapters over its methods.
 type Service struct {
 	cfg    Config
+	fs     fsio.FS
 	ledger *Ledger
 
 	mu       sync.Mutex
@@ -66,11 +67,13 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("serve: Config.Dir is required")
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.Dir, "streams"), 0o755); err != nil {
+	fsys := fsio.DefaultFS(cfg.FS)
+	if err := fsys.MkdirAll(filepath.Join(cfg.Dir, "streams"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Service{
 		cfg:       cfg,
+		fs:        fsys,
 		ledger:    newLedger(cfg.Obs),
 		streams:   map[string]*stream{},
 		evalSnaps: map[string]*obs.Snapshot{},
@@ -98,7 +101,7 @@ func (s *Service) streamDir(name string) string {
 // map and the ledger, so the accounting invariant spans restarts.
 func (s *Service) recover() error {
 	root := filepath.Join(s.cfg.Dir, "streams")
-	entries, err := os.ReadDir(root)
+	entries, err := s.fs.ReadDir(root)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -108,12 +111,20 @@ func (s *Service) recover() error {
 		}
 		name := ent.Name()
 		dir := filepath.Join(root, name)
+		// A crash mid-commit (meta, finish, tombstone, plan, scorecard)
+		// strands the atomic write's temp file; sweep the directories
+		// this service owns before interpreting what's left.
+		if n := fsio.CleanStrayTemps(s.fs, dir) +
+			fsio.CleanStrayTemps(s.fs, filepath.Join(dir, campaignDir)) +
+			fsio.CleanStrayTemps(s.fs, filepath.Join(dir, campaignDir, "results")); n > 0 {
+			s.cfg.logf("serve: stream %s: removed %d stray temp file(s) left by an earlier crash", name, n)
+		}
 		st := &stream{name: name, dir: dir, ledger: s.ledger, spoolAcct: &s.spoolBytes, lastActive: time.Now()}
 		if err := readJSONFile(st.path(metaFile), &st.meta); err != nil {
 			// Crash between mkdir and the atomic meta write: nothing was
 			// ever acked under this name, so the empty husk is removable.
 			s.cfg.logf("serve: removing meta-less stream dir %s: %v", name, err)
-			os.RemoveAll(dir)
+			s.fs.RemoveAll(dir)
 			continue
 		}
 
@@ -126,6 +137,14 @@ func (s *Service) recover() error {
 			st.chunks = shed.Chunks
 			st.reason = string(shed.Reason)
 			s.ledger.Restore(shed.Chunks, false, false, shed.Reason)
+			// The shed commit point is the tombstone; a crash between it
+			// and the removals leaves the dead spool and ack journal
+			// behind. Finish the job — they hold disk, not budget.
+			if fileExists(st.path(spoolFile)) || fileExists(st.path(ackFile)) {
+				s.fs.Remove(st.path(spoolFile))
+				s.fs.Remove(st.path(ackFile))
+				s.cfg.logf("serve: stream %s: removed spool left behind by interrupted shed", name)
+			}
 		case readJSONFile(st.path(failedFile), &fail) == nil:
 			st.state = StateFailed
 			st.chunks = fail.Chunks
@@ -149,15 +168,15 @@ func (s *Service) recover() error {
 		default:
 			// Mid-upload: replay the ack journal's valid prefix and
 			// reopen for appends at the recovered offset.
-			chunks, bytes, rerr := recoverAcks(dir)
+			chunks, bytes, rerr := recoverAcks(s.fs, dir)
 			if rerr != nil {
 				return rerr
 			}
-			spool, oerr := fsio.OpenAppend(st.path(spoolFile))
+			spool, oerr := fsio.OpenAppendFS(s.fs, st.path(spoolFile))
 			if oerr != nil {
 				return oerr
 			}
-			acks, oerr := fsio.OpenAppend(st.path(ackFile))
+			acks, oerr := fsio.OpenAppendFS(s.fs, st.path(ackFile))
 			if oerr != nil {
 				spool.Close()
 				return oerr
@@ -217,17 +236,17 @@ func (s *Service) Hello(meta StreamMeta) (HelloInfo, error) {
 	}
 
 	dir := s.streamDir(meta.Name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return HelloInfo{}, fmt.Errorf("serve: %w", err)
 	}
-	if err := writeJSONFile(filepath.Join(dir, metaFile), &meta); err != nil {
+	if err := writeJSONFile(s.fs, filepath.Join(dir, metaFile), &meta); err != nil {
 		return HelloInfo{}, err
 	}
-	spool, err := fsio.OpenAppend(filepath.Join(dir, spoolFile))
+	spool, err := fsio.OpenAppendFS(s.fs, filepath.Join(dir, spoolFile))
 	if err != nil {
 		return HelloInfo{}, err
 	}
-	acks, err := fsio.OpenAppend(filepath.Join(dir, ackFile))
+	acks, err := fsio.OpenAppendFS(s.fs, filepath.Join(dir, ackFile))
 	if err != nil {
 		spool.Close()
 		return HelloInfo{}, err
@@ -344,11 +363,21 @@ func (s *Service) shedIdlestLocked(keep *stream) {
 	}
 }
 
-// shedLocked drops an uploading stream: spool and ack journal are
-// removed, a tombstone records the reason and chunk count, and the
+// shedLocked drops an uploading stream: a tombstone records the reason
+// and chunk count, then spool and ack journal are removed, and the
 // ledger moves the chunks from pending to the reason's shed counter —
 // atomically with the state flip, under st.mu, so no concurrent accept
 // can slip a chunk between the classification and the state change.
+//
+// The tombstone is written BEFORE the removals — it is the shed's
+// durable commit point. The old order (remove first) had a crash
+// window that silently destroyed acked chunks: with the spool gone and
+// no tombstone yet, recovery saw a mid-upload stream with zero valid
+// acks and resumed it empty, losing every acked chunk with no
+// accounting. With tombstone-first, a crash before it resumes the
+// upload intact (nothing lost), and a crash after it replays as a shed
+// with the leftovers removed by recovery. If the tombstone write
+// itself fails, the data files are deliberately kept.
 // Caller holds s.mu.
 func (s *Service) shedLocked(st *stream, reason ShedReason) {
 	st.mu.Lock()
@@ -364,10 +393,11 @@ func (s *Service) shedLocked(st *stream, reason ShedReason) {
 	s.spoolBytes.Add(-bytes)
 	st.mu.Unlock()
 
-	os.Remove(st.path(spoolFile))
-	os.Remove(st.path(ackFile))
-	if err := writeJSONFile(st.path(shedFile), &shedRecord{Reason: reason, Chunks: chunks}); err != nil {
-		s.cfg.logf("serve: writing shed tombstone for %s: %v", st.name, err)
+	if err := writeJSONFile(s.fs, st.path(shedFile), &shedRecord{Reason: reason, Chunks: chunks}); err != nil {
+		s.cfg.logf("serve: writing shed tombstone for %s: %v (spool kept)", st.name, err)
+	} else {
+		s.fs.Remove(st.path(spoolFile))
+		s.fs.Remove(st.path(ackFile))
 	}
 	s.updateGauges()
 	s.cfg.logf("serve: stream %s shed (%s): %d chunks dropped", st.name, reason, chunks)
@@ -458,7 +488,7 @@ func (s *Service) Finish(name string, declChunks uint64, declBytes int64) error 
 	if chunks > 0 {
 		spec.Traces = []string{st.path(spoolFile)}
 	}
-	if err := campaign.SavePlan(st.path(campaignDir), spec); err != nil {
+	if err := campaign.SavePlanFS(s.fs, st.path(campaignDir), spec); err != nil {
 		return fmt.Errorf("serve: planning campaign for %s: %w", name, err)
 	}
 
@@ -487,7 +517,7 @@ func (s *Service) Finish(name string, declChunks uint64, declBytes int64) error 
 		s.mu.Unlock()
 		return &RejectError{Reason: "evaluation queue full", RetryAfter: s.cfg.RetryAfter}
 	}
-	if err := writeJSONFile(st.path(finishFile), &finishRecord{Chunks: chunks, Bytes: bytes}); err != nil {
+	if err := writeJSONFile(s.fs, st.path(finishFile), &finishRecord{Chunks: chunks, Bytes: bytes}); err != nil {
 		s.mu.Unlock()
 		return err
 	}
@@ -521,10 +551,13 @@ func (s *Service) shedCorruptLocked(st *stream, chunks uint64, bytes int64) {
 	s.ledger.Shed(ShedCorrupt, chunks)
 	s.spoolBytes.Add(-bytes)
 	st.mu.Unlock()
-	os.Remove(st.path(spoolFile))
-	os.Remove(st.path(ackFile))
-	if err := writeJSONFile(st.path(shedFile), &shedRecord{Reason: ShedCorrupt, Chunks: chunks}); err != nil {
-		s.cfg.logf("serve: writing shed tombstone for %s: %v", st.name, err)
+	// Tombstone first, removals second — same commit discipline and
+	// same crash-window reasoning as shedLocked.
+	if err := writeJSONFile(s.fs, st.path(shedFile), &shedRecord{Reason: ShedCorrupt, Chunks: chunks}); err != nil {
+		s.cfg.logf("serve: writing shed tombstone for %s: %v (spool kept)", st.name, err)
+	} else {
+		s.fs.Remove(st.path(spoolFile))
+		s.fs.Remove(st.path(ackFile))
 	}
 	s.updateGauges()
 	go st.publish(Event{Kind: EventFailed, Payload: []byte("stream shed: " + string(ShedCorrupt))})
@@ -594,6 +627,7 @@ func (s *Service) evaluate(st *stream) {
 
 	runner := &campaign.Runner{
 		Dir:          st.path(campaignDir),
+		FS:           s.fs,
 		Workers:      1,
 		MaxAttempts:  s.cfg.MaxAttempts,
 		Backoff:      s.cfg.Backoff,
@@ -623,7 +657,7 @@ func (s *Service) evaluate(st *stream) {
 		st.state = StateFailed
 		st.reason = err.Error()
 		st.mu.Unlock()
-		if werr := writeJSONFile(st.path(failedFile), &failRecord{Error: err.Error(), Chunks: chunks}); werr != nil {
+		if werr := writeJSONFile(s.fs, st.path(failedFile), &failRecord{Error: err.Error(), Chunks: chunks}); werr != nil {
 			s.cfg.logf("serve: writing failure record for %s: %v", st.name, werr)
 		}
 		s.countObs("serve.streams.failed")
@@ -643,7 +677,7 @@ func (s *Service) evaluate(st *stream) {
 		st.publish(Event{Kind: EventFailed, Payload: []byte(rerr.Error())})
 		return
 	}
-	if err := fsio.WriteAtomic(st.path(scorecardFile), func(w io.Writer) error {
+	if err := fsio.WriteAtomicFS(s.fs, st.path(scorecardFile), func(w io.Writer) error {
 		_, werr := w.Write(card)
 		return werr
 	}); err != nil {
@@ -875,6 +909,9 @@ func (s *Service) Snapshot() *obs.Snapshot {
 		m.Merge(s.evalSnaps[p].Prefixed("eval." + p + "."))
 	}
 	s.snapMu.Unlock()
+	// The storage layer's own health counters — dirsync errors, append
+	// repairs — ride along so a degrading disk shows up on /metrics.
+	m.Merge(obs.FSIOSnapshot())
 	return m
 }
 

@@ -302,8 +302,8 @@ type failRecord struct {
 	Chunks uint64 `json:"chunks"`
 }
 
-func writeJSONFile(path string, v any) error {
-	return fsio.WriteAtomic(path, func(w io.Writer) error {
+func writeJSONFile(fsys fsio.FS, path string, v any) error {
+	return fsio.WriteAtomicFS(fsys, path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(v)
@@ -324,14 +324,14 @@ func readJSONFile(path string, v any) error {
 // the journal to drop a torn tail, the spool to drop bytes whose ack
 // line never committed. Returns the recovered chunk count and spool
 // length. Missing files mean an empty stream.
-func recoverAcks(dir string) (chunks uint64, bytes int64, err error) {
+func recoverAcks(fsys fsio.FS, dir string) (chunks uint64, bytes int64, err error) {
 	spoolPath := filepath.Join(dir, spoolFile)
 	ackPath := filepath.Join(dir, ackFile)
 	var spoolSize int64
-	if fi, serr := os.Stat(spoolPath); serr == nil {
+	if fi, serr := fsys.Stat(spoolPath); serr == nil {
 		spoolSize = fi.Size()
 	}
-	data, rerr := os.ReadFile(ackPath)
+	data, rerr := fsys.ReadFile(ackPath)
 	if rerr != nil && !os.IsNotExist(rerr) {
 		return 0, 0, fmt.Errorf("serve: reading ack journal: %w", rerr)
 	}
@@ -360,12 +360,12 @@ func recoverAcks(dir string) (chunks uint64, bytes int64, err error) {
 	}
 
 	if int64(validLen) < int64(len(data)) {
-		if err := os.Truncate(ackPath, int64(validLen)); err != nil {
+		if err := fsys.Truncate(ackPath, int64(validLen)); err != nil {
 			return 0, 0, fmt.Errorf("serve: truncating torn ack journal: %w", err)
 		}
 	}
 	if bytes < spoolSize {
-		if err := os.Truncate(spoolPath, bytes); err != nil {
+		if err := fsys.Truncate(spoolPath, bytes); err != nil {
 			return 0, 0, fmt.Errorf("serve: truncating unjournaled spool tail: %w", err)
 		}
 	}

@@ -1,0 +1,276 @@
+package serve_test
+
+// Pinned regression schedules from cmd/crashtorture. Each test replays
+// one exact fault schedule that exposed (or guards) a recovery bug:
+//
+//   - the shed crash window: removing the spool before the tombstone
+//     committed silently destroyed acked chunks across a crash;
+//   - tombstone-write failure: shedding must keep the stream resumable
+//     when the tombstone cannot be written;
+//   - a torn tail in the spool itself (not the ack journal): resume
+//     must trim the ack journal to the spool-covered prefix and never
+//     double-deliver;
+//   - finish.json committed but the evaluation never journaled: the
+//     stream re-queues and delivers exactly once;
+//   - crash mid-commit: recovery sweeps the stranded atomic-write temp
+//     files.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fsio/faultfs"
+	"repro/internal/serve"
+)
+
+// shedService opens a service with a spool budget small enough that a
+// second stream's first chunk sheds the idle victim.
+func shedService(t *testing.T, dir string, fs *faultfs.FS) *serve.Service {
+	t.Helper()
+	return openService(t, dir, func(c *serve.Config) {
+		c.EvalWorkers = -1
+		c.MaxSpoolBytes = 2500
+		c.RetryAfter = time.Millisecond
+		if fs != nil {
+			c.FS = fs
+		}
+	})
+}
+
+// spoolTwoThenOverflow uploads two 1000-byte chunks on "victim", then
+// lets "noisy" overflow the 2500-byte budget so the service sheds the
+// idle victim. Returns the error from the overflowing accept.
+func spoolTwoThenOverflow(t *testing.T, svc *serve.Service) error {
+	t.Helper()
+	chunk := bytes.Repeat([]byte{0xAB}, 1000)
+	if _, err := svc.Hello(quickMeta("victim")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Accept("victim", uint32(i), chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.Hello(quickMeta("noisy")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.Accept("noisy", 0, chunk)
+	return err
+}
+
+// TestShedCrashBetweenTombstoneAndRemovals pins the shed commit
+// discipline: the tombstone is the commit point, so a crash between
+// writing it and removing the spool must recover as a fully accounted
+// shed, with recovery finishing the removals.
+func TestShedCrashBetweenTombstoneAndRemovals(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(faultfs.Rule{Op: faultfs.OpRemove, Path: "victim", N: 1, Crash: true})
+	svc := shedService(t, dir, ffs)
+	spoolTwoThenOverflow(t, svc) // the overflow path hits the crash
+	svc.Close()
+	if !ffs.Crashed() {
+		t.Fatal("schedule did not reach the spool removal")
+	}
+
+	svc2 := shedService(t, dir, nil)
+	defer svc2.Close()
+	st, ok := svc2.Status("victim")
+	if !ok || st.State != serve.StateShed {
+		t.Fatalf("victim after recovery: ok=%v state=%+v, want shed", ok, st)
+	}
+	if st.Chunks != 2 {
+		t.Fatalf("shed victim accounts %d chunks, want 2", st.Chunks)
+	}
+	if err := svc2.Counts().Check(); err != nil {
+		t.Fatalf("ledger after recovery: %v", err)
+	}
+	vdir := filepath.Join(dir, "streams", "victim")
+	for _, f := range []string{"trace.idt2", "acks.jsonl"} {
+		if _, err := os.Stat(filepath.Join(vdir, f)); err == nil {
+			t.Errorf("recovery left dead %s behind after interrupted shed", f)
+		}
+	}
+}
+
+// TestShedTombstoneFailureKeepsStreamResumable pins the other side of
+// the discipline: if the tombstone cannot be written, the spool and
+// ack journal must survive so the stream resumes intact. (The original
+// bug removed them first — a crash or failure in between silently
+// destroyed acked chunks and resumed the stream empty.)
+func TestShedTombstoneFailureKeepsStreamResumable(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(faultfs.Rule{Op: faultfs.OpCreate, Path: "shed.json", N: 1, Err: syscall.ENOSPC})
+	svc := shedService(t, dir, ffs)
+	spoolTwoThenOverflow(t, svc)
+	svc.Close()
+	if ffs.Injected() != 1 {
+		t.Fatal("schedule never reached the tombstone write")
+	}
+
+	svc2 := shedService(t, dir, nil)
+	defer svc2.Close()
+	info, err := svc2.Hello(quickMeta("victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != serve.StateOpen || info.Next != 2 {
+		t.Fatalf("victim after failed tombstone: state=%s next=%d, want open/2 (acked chunks lost)", info.State, info.Next)
+	}
+	if err := svc2.Counts().Check(); err != nil {
+		t.Fatalf("ledger after recovery: %v", err)
+	}
+}
+
+// TestSpoolTornTailTrimsAckJournal pins the recovery corner where the
+// torn tail is in the spool, not the ack journal: the journal's last
+// line claims bytes the spool no longer covers, so recovery must trim
+// the journal to the covered prefix and resume without re-acking or
+// double-delivering the lost chunk.
+func TestSpoolTornTailTrimsAckJournal(t *testing.T) {
+	dir := t.TempDir()
+	payload := buildTraceBytes(t, 7)
+	chunks := chunked(payload, (len(payload)+3)/4)
+
+	svc := openService(t, dir, func(c *serve.Config) { c.EvalWorkers = -1 })
+	if _, err := svc.Hello(quickMeta("torn")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Accept("torn", uint32(i), chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close()
+
+	// Tear the spool mid-third-chunk; the ack journal still has all
+	// three lines.
+	spool := filepath.Join(dir, "streams", "torn", "trace.idt2")
+	fi, err := os.Stat(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(spool, fi.Size()-int64(len(chunks[2])/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := openService(t, dir, nil)
+	defer svc2.Close()
+	info, err := svc2.Hello(quickMeta("torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Next != 2 {
+		t.Fatalf("resume point after torn spool: next=%d, want 2 (chunk 2's bytes are gone)", info.Next)
+	}
+	// Resume: re-upload from the trimmed point; the finished stream
+	// must evaluate cleanly, proving the spool was reassembled exactly.
+	uploadAll(t, svc2, quickMeta("torn"), chunks)
+	awaitDone(t, svc2, "torn")
+	got, err := os.ReadFile(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled spool differs from original (%d vs %d bytes)", len(got), len(payload))
+	}
+	if err := svc2.Counts().Check(); err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+}
+
+// TestFinishedButNeverJournaledRequeuesOnce pins the delivery corner:
+// finish.json committed (delivery promised) but the daemon died before
+// the evaluation wrote a single campaign journal line. Recovery must
+// re-queue the stream and deliver exactly once.
+func TestFinishedButNeverJournaledRequeuesOnce(t *testing.T) {
+	dir := t.TempDir()
+	payload := buildTraceBytes(t, 7)
+	chunks := chunked(payload, (len(payload)+3)/4)
+
+	// No eval workers: Finish commits finish.json and queues, then the
+	// "daemon" dies before any evaluation work starts.
+	svc := openService(t, dir, func(c *serve.Config) { c.EvalWorkers = -1 })
+	uploadAll(t, svc, quickMeta("fin"), chunks)
+	svc.Close()
+	if _, err := os.Stat(filepath.Join(dir, "streams", "fin", "finish.json")); err != nil {
+		t.Fatalf("finish.json not committed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "streams", "fin", "campaign", "journal.jsonl")); err == nil {
+		t.Fatal("test premise broken: evaluation journal already exists")
+	}
+
+	svc2 := openService(t, dir, nil)
+	defer svc2.Close()
+	awaitDone(t, svc2, "fin")
+	counts := svc2.Counts()
+	if err := counts.Check(); err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+	if counts.Delivered != uint64(len(chunks)) {
+		t.Fatalf("delivered=%d, want exactly %d (no double-delivery)", counts.Delivered, len(chunks))
+	}
+}
+
+// TestRecoverySweepsStrayCommitTemps pins the stray-temp leak found by
+// the matrix: a crash between CreateTemp and Commit strands the
+// ".<name>.tmp-*" file, and before the fix no recovery path removed it.
+func TestRecoverySweepsStrayCommitTemps(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New(faultfs.Rule{Op: faultfs.OpRename, Path: "finish.json", N: 1, Crash: true})
+	svc := openService(t, dir, func(c *serve.Config) {
+		c.EvalWorkers = -1
+		c.FS = ffs
+	})
+	payload := buildTraceBytes(t, 7)
+	chunks := chunked(payload, (len(payload)+3)/4)
+	info, err := svc.Hello(quickMeta("stray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int(info.Next); i < len(chunks); i++ {
+		if _, err := svc.Accept("stray", uint32(i), chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Finish("stray", uint64(len(chunks)), int64(len(payload))); err == nil {
+		t.Fatal("finish succeeded despite crash at its rename")
+	}
+	svc.Close()
+
+	sdir := filepath.Join(dir, "streams", "stray")
+	if !hasStrayTemp(t, sdir) {
+		t.Fatal("test premise broken: crash left no stray temp file")
+	}
+	svc2 := openService(t, dir, func(c *serve.Config) { c.EvalWorkers = -1 })
+	defer svc2.Close()
+	if hasStrayTemp(t, sdir) {
+		t.Fatal("recovery left the stray atomic-write temp file behind")
+	}
+	// And the interrupted upload is still resumable where it left off.
+	info, err = svc2.Hello(quickMeta("stray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != serve.StateOpen || info.Next != uint32(len(chunks)) {
+		t.Fatalf("stream after recovery: state=%s next=%d, want open/%d", info.State, info.Next, len(chunks))
+	}
+}
+
+func hasStrayTemp(t *testing.T, dir string) bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			return true
+		}
+	}
+	return false
+}
